@@ -1,0 +1,64 @@
+// Command datagen emits synthetic workloads as text (one integer per line,
+// consumable by histcli) — the distributions the paper evaluates on.
+//
+//	datagen -dist zipf -s 0.75 -n 100000 -cardinality 2048 > col.txt
+//	datagen -dist lineitem -column l_extendedprice -n 60000 > prices.txt
+//	datagen -dist spiked -n 600000 -spike 2001 -spikecount 2000 > spiked.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/tpch"
+)
+
+func main() {
+	dist := flag.String("dist", "uniform", "distribution: uniform, zipf, sequential, spiked, lineitem")
+	n := flag.Int("n", 100000, "number of values")
+	card := flag.Int64("cardinality", 1000, "number of distinct values (uniform/zipf/sequential/spiked)")
+	s := flag.Float64("s", 1.0, "zipf exponent")
+	seed := flag.Uint64("seed", 1, "random seed")
+	column := flag.String("column", "l_extendedprice", "lineitem column (lineitem dist)")
+	sf := flag.Float64("sf", 1, "TPC-H scale factor for value domains (lineitem dist)")
+	spike := flag.Int64("spike", 2001, "spiked value (spiked dist)")
+	spikeCount := flag.Int64("spikecount", 1000, "occurrences of the spiked value (spiked dist)")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	emit := func(g datagen.Generator) {
+		for i := 0; i < *n; i++ {
+			fmt.Fprintln(w, g.Next())
+		}
+	}
+
+	switch *dist {
+	case "uniform":
+		emit(datagen.NewUniform(*seed, 0, *card))
+	case "zipf":
+		emit(datagen.NewZipf(*seed, 0, *card, *s, true))
+	case "sequential":
+		emit(datagen.NewSequential(0, *card))
+	case "spiked":
+		base := datagen.NewUniform(*seed, 0, *card)
+		emit(datagen.NewSpiked(*seed+1, base, int64(*n), []datagen.Spike{{Value: *spike, Count: *spikeCount}}))
+	case "lineitem":
+		rel := tpch.Lineitem(*n, *sf, *seed)
+		idx := rel.Schema.ColumnIndex(*column)
+		if idx < 0 {
+			fmt.Fprintf(os.Stderr, "datagen: lineitem has no column %q\n", *column)
+			os.Exit(2)
+		}
+		for i := 0; i < rel.NumRows(); i++ {
+			fmt.Fprintln(w, rel.Value(i, idx))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+}

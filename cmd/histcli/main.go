@@ -1,0 +1,142 @@
+// Command histcli computes histograms over a column of integers, the way
+// the accelerator would as the data streamed by. Input is a text file (or
+// stdin) with one integer per line.
+//
+//	histcli -kind equidepth -buckets 16 values.txt
+//	histcli -kind all -topk 10 < values.txt
+//
+// The output lists each bucket's range, row count, and distinct count, plus
+// the simulated on-accelerator timing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamhist/internal/core"
+	"streamhist/internal/hist"
+)
+
+func main() {
+	kind := flag.String("kind", "all", "histogram kind: equidepth, maxdiff, compressed, topk, all")
+	buckets := flag.Int("buckets", 16, "number of buckets (B)")
+	topk := flag.Int("topk", 8, "frequency-list length (T)")
+	divisor := flag.Int64("divisor", 1, "bin divisor (values per bin)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: histcli [flags] [file]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	values, err := readValues(in)
+	if err != nil {
+		fatalf("reading input: %v", err)
+	}
+	if len(values) == 0 {
+		fatalf("no values in input")
+	}
+
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	cfg := core.DefaultConfig(core.ColumnSpec{}, min, max)
+	cfg.Divisor = *divisor
+	cfg.TopK = *topk
+	cfg.EquiDepthBuckets = *buckets
+	cfg.MaxDiffBuckets = *buckets
+	cfg.CompressedT = *topk
+	cfg.CompressedBuckets = *buckets
+	circuit, err := core.NewCircuit(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := circuit.ProcessValues(values)
+
+	switch strings.ToLower(*kind) {
+	case "equidepth":
+		printHistogram("Equi-depth", res.EquiDepth)
+	case "maxdiff":
+		printHistogram("Max-diff", res.MaxDiff)
+	case "compressed":
+		printHistogram("Compressed", res.Compressed)
+	case "topk":
+		printTopK(res.TopK)
+	case "all":
+		printTopK(res.TopK)
+		printHistogram("Equi-depth", res.EquiDepth)
+		printHistogram("Max-diff", res.MaxDiff)
+		printHistogram("Compressed", res.Compressed)
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+
+	fmt.Printf("\n%d values, %d distinct, %d bins in memory\n",
+		res.Bins.Total(), res.Bins.Cardinality(), res.Bins.NumBins())
+	fmt.Printf("simulated accelerator time: %.3fms binning + %.3fms histograms (cache hit rate %.0f%%)\n",
+		res.BinningSeconds*1e3, res.HistogramSeconds*1e3,
+		100*float64(res.BinnerStats.CacheHits)/float64(res.BinnerStats.CacheHits+res.BinnerStats.CacheMisses))
+}
+
+func readValues(r io.Reader) ([]int64, error) {
+	var out []int64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+func printHistogram(name string, h *hist.Histogram) {
+	fmt.Printf("\n%s (%d buckets", name, len(h.Buckets))
+	if len(h.Frequent) > 0 {
+		fmt.Printf(", %d exact frequent values", len(h.Frequent))
+	}
+	fmt.Println("):")
+	for _, f := range h.Frequent {
+		fmt.Printf("  value %-12d count %d (exact)\n", f.Value, f.Count)
+	}
+	for _, b := range h.Buckets {
+		fmt.Printf("  [%d .. %d]  count %-10d distinct %d\n", b.Low, b.High, b.Count, b.Distinct)
+	}
+}
+
+func printTopK(top []hist.FrequentValue) {
+	fmt.Printf("\nTopK (%d entries):\n", len(top))
+	for i, f := range top {
+		fmt.Printf("  #%-3d value %-12d count %d\n", i+1, f.Value, f.Count)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "histcli: "+format+"\n", args...)
+	os.Exit(1)
+}

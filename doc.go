@@ -1,0 +1,56 @@
+// Package streamhist reproduces "Histograms as a Side Effect of Data
+// Movement for Big Data" (István, Woods, Alonso — SIGMOD 2014): a
+// statistical accelerator that sits in the storage-to-host data path and
+// computes Equi-depth, Compressed and Max-diff histograms plus TopK
+// frequency lists while the data streams by, at no cost to the stream.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the accelerator (Parser, Binner, statistic blocks)
+//     as a cycle-accounted simulation of the paper's FPGA prototype;
+//   - internal/hist — the software reference histogram library;
+//   - internal/dbms — the commercial-DBMS substrate the paper compares
+//     against (sampling analyzer, planner, executor);
+//   - internal/bench — one runner per table and figure of the evaluation.
+//
+// Scan is the one-call facade for the most common use: histograms for a
+// column that just streamed past.
+package streamhist
+
+import (
+	"streamhist/internal/core"
+)
+
+// Results re-exports the accelerator's output type.
+type Results = core.Results
+
+// Scan runs the default accelerator configuration (§6: 256-bucket
+// equi-depth, T=64 TopK, 64-bucket Max-diff and Compressed) over a column
+// of values and returns every histogram plus the simulated hardware timing.
+func Scan(values []int64) (*Results, error) {
+	if len(values) == 0 {
+		return nil, errEmptyColumn
+	}
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	cfg := core.DefaultConfig(core.ColumnSpec{}, min, max)
+	circuit, err := core.NewCircuit(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return circuit.ProcessValues(values), nil
+}
+
+// errEmptyColumn reports a Scan over no data.
+var errEmptyColumn = scanError("streamhist: cannot scan an empty column")
+
+type scanError string
+
+func (e scanError) Error() string { return string(e) }

@@ -1,0 +1,26 @@
+package streamhist_test
+
+import (
+	"fmt"
+
+	"streamhist"
+)
+
+// ExampleScan shows the one-call path: histograms for a column, as if it
+// had just streamed past the accelerator.
+func ExampleScan() {
+	column := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	res, err := streamhist.Scan(column)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rows:", res.Bins.Total())
+	fmt.Println("distinct:", res.Bins.Cardinality())
+	fmt.Println("most frequent:", res.TopK[0].Value, "x", res.TopK[0].Count)
+	fmt.Printf("rows with value < 5: %.0f\n", res.EquiDepth.EstimateLess(5))
+	// Output:
+	// rows: 11
+	// distinct: 7
+	// most frequent: 5 x 3
+	// rows with value < 5: 6
+}

@@ -1,0 +1,69 @@
+// Multihist: one pass over a skewed column produces four different
+// statistics in parallel — the §5.2 daisy chain. The example also prints
+// the Table 2 cycle accounting so you can see what each block costs in
+// hardware terms, and compares estimation accuracy across the histogram
+// types on the same data.
+//
+//	go run ./examples/multihist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/core"
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+	"streamhist/internal/hw"
+)
+
+func main() {
+	// A heavily skewed column: Zipf 1.0 over 4096 distinct values.
+	vals := datagen.Take(datagen.NewZipf(3, 0, 4096, 1.0, true), 500_000)
+	truth := bins.Build(vals, 1)
+
+	cfg := core.DefaultConfig(core.ColumnSpec{}, 0, 4095)
+	cfg.TopK = 10
+	cfg.EquiDepthBuckets = 32
+	cfg.MaxDiffBuckets = 32
+	cfg.CompressedT = 10
+	cfg.CompressedBuckets = 32
+	circuit, err := core.NewCircuit(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := circuit.ProcessValues(vals)
+
+	clk := hw.NewClock(hw.DefaultClockHz)
+	fmt.Printf("one scan of %d bins produced %d statistics (%d scanner passes):\n",
+		res.Chain.Delta, len(res.Chain.Timings), res.Chain.Scans)
+	for _, t := range res.Chain.Timings {
+		fmt.Printf("  %-24s first result after %8.3f ms, done at %8.3f ms, %4d result bytes\n",
+			t.Name, clk.Seconds(t.FirstResultCycles)*1e3,
+			clk.Seconds(t.CompletionCycles)*1e3, t.ResultBytes)
+	}
+	fmt.Printf("whole Histogram module finished in %.3f ms — \"not additive\": it costs what the slowest block costs\n\n",
+		res.HistogramSeconds*1e3)
+
+	// How well does each flavour estimate point selectivities?
+	fmt.Println("mean point-estimate error against ground truth:")
+	for _, h := range []*hist.Histogram{res.EquiDepth, res.MaxDiff, res.Compressed} {
+		fmt.Printf("  %-12s %.6f\n", h.Kind, hist.PointError(h, truth))
+	}
+	vopt := hist.BuildVOptimal(truth, 32)
+	fmt.Printf("  %-12s %.6f (offline optimum, too expensive for production)\n",
+		vopt.Kind, hist.PointError(vopt, truth))
+
+	// The heavy hitters every flavour has to cope with:
+	fmt.Println("\ntop-5 heavy hitters (exact, from the TopK block):")
+	for i, f := range res.TopK[:5] {
+		fmt.Printf("  #%d: value %4d × %6d (%.1f%% of all rows)\n",
+			i+1, f.Value, f.Count, 100*float64(f.Count)/float64(truth.Total()))
+	}
+
+	// The hardware result encoding (§6.3: 8 bytes per bucket).
+	enc := core.EncodeBuckets(res.EquiDepth.Buckets)
+	fmt.Printf("\nequi-depth result wire size: %d bytes (%d buckets × 8)\n",
+		len(enc), len(res.EquiDepth.Buckets))
+}

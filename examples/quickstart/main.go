@@ -1,0 +1,74 @@
+// Quickstart: run the statistical accelerator over a table as it "moves"
+// from storage to the host, and inspect the histograms that fall out.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamhist/internal/core"
+	"streamhist/internal/page"
+	"streamhist/internal/tpch"
+)
+
+func main() {
+	// A scaled-down TPC-H lineitem table (100k rows, SF1 value domains).
+	rel := tpch.Lineitem(100_000, 1, 42)
+	fmt.Printf("table %s: %d rows, %d columns, %.1f MB on pages\n",
+		rel.Name, rel.NumRows(), rel.Schema.NumColumns(),
+		float64(rel.SizeBytes())/1e6)
+
+	// Encode it to database pages — this byte stream is what the host
+	// would read; the accelerator taps a copy of it.
+	pages := page.Encode(rel)
+
+	// Configure the circuit for the l_quantity column. The host supplies
+	// the column's byte offset/type (the metadata packet of §4) and the
+	// value range for the preprocessor.
+	spec, err := core.SpecFor(rel.Schema, "l_quantity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig(spec, 1, 50)
+	cfg.EquiDepthBuckets = 10
+	cfg.TopK = 5
+	circuit, err := core.NewCircuit(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream the pages through. The host-visible stream is delayed only by
+	// the splitter latency; the statistics are computed on the side.
+	res, err := circuit.Process(pages)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nhost-path added latency: %.1f µs (the \"bump in the wire\")\n",
+		res.HostPathAddedSeconds*1e6)
+	fmt.Printf("simulated accelerator time: %.2f ms binning + %.2f ms histograms\n",
+		res.BinningSeconds*1e3, res.HistogramSeconds*1e3)
+	fmt.Printf("binner sustained %.1f M values/s (cache hit rate %.0f%%)\n",
+		res.BinnerStats.ValuesPerSecond(cfg.Binner.Clock)/1e6,
+		100*float64(res.BinnerStats.CacheHits)/
+			float64(res.BinnerStats.CacheHits+res.BinnerStats.CacheMisses))
+
+	fmt.Println("\ntop-5 most frequent quantities:")
+	for i, f := range res.TopK {
+		fmt.Printf("  #%d: value %d × %d\n", i+1, f.Value, f.Count)
+	}
+
+	fmt.Println("\nequi-depth histogram (10 buckets):")
+	for _, b := range res.EquiDepth.Buckets {
+		fmt.Printf("  [%2d .. %2d]  %6d rows, %2d distinct values\n",
+			b.Low, b.High, b.Count, b.Distinct)
+	}
+
+	// The histograms answer optimizer questions immediately:
+	fmt.Printf("\nestimated rows with l_quantity = 25: %.0f\n",
+		res.EquiDepth.EstimateEquals(25))
+	fmt.Printf("estimated rows with l_quantity < 10: %.0f\n",
+		res.EquiDepth.EstimateLess(10))
+}

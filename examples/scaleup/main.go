@@ -1,0 +1,92 @@
+// Scaleup: the §7 future-work design, sized and simulated. A single-column
+// stream at 10 Gbps delivers ~312 M values/s — far beyond one Binner — so
+// the Parser/Binner pair is replicated, values are distributed round-robin,
+// and the per-replica partial counts are aggregated in constant time before
+// the unchanged Histogram module.
+//
+//	go run ./examples/scaleup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamhist/internal/core"
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+	"streamhist/internal/hw"
+)
+
+func main() {
+	clk := hw.NewClock(hw.DefaultClockHz)
+	const targetGbps = 10.0
+
+	fmt.Printf("target: one 32-bit column at %.0f Gbps = %.1f M values/s\n",
+		targetGbps, targetGbps*1e9/8/4/1e6)
+	worst := core.ReplicasForLineRate(targetGbps, 20e6)
+	best := core.ReplicasForLineRate(targetGbps, 50e6)
+	fmt.Printf("replicas needed: %d at the worst-case 20 M/s per Binner, %d if the cache always hits\n\n",
+		worst, best)
+
+	// Worst-case traffic (never hits the cache) through increasing
+	// replica counts.
+	vals := make([]int64, 800_000)
+	for i := range vals {
+		vals[i] = int64(i%4096) * int64(hw.DefaultBinsPerLine)
+	}
+	fmt.Println("replicas | aggregate rate | line rate | 10Gbps?")
+	for _, n := range []int{1, 4, 8, worst} {
+		pb, err := core.NewParallelBinner(n, core.DefaultBinnerConfig(), 0, 4096*8, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pb.PushAll(vals)
+		_, stats, err := pb.Finish()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate := stats.ValuesPerSecond(clk)
+		gbps := core.LineRateGbps(rate)
+		ok := "no"
+		if gbps >= targetGbps {
+			ok = "YES"
+		}
+		fmt.Printf("%8d | %11.0f M/s | %6.1f Gbps | %s\n", n, rate/1e6, gbps, ok)
+	}
+
+	// Functional check on skewed data: the merged partial counts feed the
+	// same Histogram module and yield the same equi-depth histogram a
+	// single Binner would have produced.
+	skewed := datagen.Take(datagen.NewZipf(5, 0, 10_000, 0.9, true), 400_000)
+	pb, err := core.NewParallelBinner(worst, core.DefaultBinnerConfig(), 0, 9_999, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pb.PushAll(skewed)
+	merged, stats, err := pb.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ed := core.NewEquiDepthBlock(16, merged.Total())
+	chain := core.NewScanner().Run(merged, ed)
+	fmt.Printf("\nskewed column through %d replicas: %d values binned in %.2f ms (+%d aggregation cycles),\n",
+		pb.Replicas(), merged.Total(), stats.Seconds(clk)*1e3, stats.AggregationCycles)
+	fmt.Printf("histogram module unchanged, finished in %.2f ms:\n", chain.Seconds(clk)*1e3)
+
+	reference := hist.BuildEquiDepth(merged, 16)
+	match := len(reference.Buckets) == len(ed.Result())
+	for i := range reference.Buckets {
+		if !match || ed.Result()[i] != reference.Buckets[i] {
+			match = false
+			break
+		}
+	}
+	fmt.Printf("buckets identical to the software reference: %v\n", match)
+	for i, b := range ed.Result() {
+		if i >= 4 {
+			fmt.Printf("  ... %d more buckets\n", len(ed.Result())-4)
+			break
+		}
+		fmt.Printf("  [%5d .. %5d]  %6d rows\n", b.Low, b.High, b.Count)
+	}
+}

@@ -1,0 +1,3 @@
+module streamhist
+
+go 1.22

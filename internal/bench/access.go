@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"streamhist/internal/dbms"
+	"streamhist/internal/table"
+	"streamhist/internal/tpch"
+)
+
+// Access executes the introduction's other claim — histograms influence
+// "how the data is accessed" — with real scans: a bulk update concentrates
+// a growing share of the table on one value; the stale catalog keeps
+// steering equality predicates on that value through the index path, while
+// fresh statistics switch to the sequential scan at the crossover.
+func Access() *Report {
+	r := &Report{
+		ID:    "access",
+		Title: "Access-path choice under stale vs fresh statistics (real scans)",
+		Columns: []string{"hot rows", "true selectivity", "stale plan", "fresh plan",
+			"scan time (chosen, fresh)", "flip?"},
+	}
+	const rows = 200_000
+	const hot = 424_242
+
+	for _, spike := range []int{50, 2_000, 8_000, 40_000} {
+		db := dbms.NewDatabase(dbms.DBx())
+		db.AddTable(tpch.Lineitem(rows, 1, 161))
+		if _, err := db.GatherStats("lineitem", "l_extendedprice", 100, 162); err != nil {
+			panic(err)
+		}
+		if _, err := dbms.CreateIndex(db.Table("lineitem"), "l_extendedprice"); err != nil {
+			panic(err)
+		}
+		db.MutateColumn("lineitem", func(rel *table.Relation) {
+			tpch.InflateValue(rel, "l_extendedprice", hot, spike, 163)
+		})
+		// Keep the index consistent with the data; statistics stay stale.
+		if _, err := dbms.CreateIndex(db.Table("lineitem"), "l_extendedprice"); err != nil {
+			panic(err)
+		}
+
+		stale := dbms.ChooseAccess(db, dbms.DefaultAccessCosts(), "lineitem", "l_extendedprice", hot, true)
+		if _, err := db.GatherStats("lineitem", "l_extendedprice", 100, 164); err != nil {
+			panic(err)
+		}
+		fresh, err := dbms.RunPredicate(db, "lineitem", "l_extendedprice", hot, true)
+		if err != nil {
+			panic(err)
+		}
+		flip := "no"
+		if stale.Method != fresh.Plan.Method {
+			flip = "YES"
+		}
+		r.AddRaw("staleIdx", boolTo01(stale.Method == dbms.IndexScan))
+		r.AddRaw("freshIdx", boolTo01(fresh.Plan.Method == dbms.IndexScan))
+		r.AddRow(
+			fmt.Sprintf("%d", spike),
+			fmt.Sprintf("%.1f%%", 100*float64(fresh.Rows)/rows),
+			stale.Method.String(),
+			fresh.Plan.Method.String(),
+			fresh.Duration.String(),
+			flip)
+	}
+	r.Notes = append(r.Notes,
+		"the stale catalog always says 'rare value' and keeps the index path; fresh statistics switch to SeqScan once the value crosses the ~4% selectivity crossover",
+		fmt.Sprintf("%d-row lineitem, equality predicate on the hot price; scans execute for real", rows))
+	return r
+}

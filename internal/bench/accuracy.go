@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/core"
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+)
+
+// Accuracy backs the §6.2 claim — "as long as the FPGA processes at least
+// as much of the data as the databases it will always provide the same, or
+// more accurate, histograms" — by measuring point- and range-selectivity
+// errors of the accelerator's full-data histograms against sample-built
+// equi-depth histograms at the paper's sampling levels.
+func Accuracy() *Report {
+	r := &Report{
+		ID:    "accuracy",
+		Title: "Estimation error: accelerator full-data histograms vs sampled DBMS histograms",
+		Columns: []string{"statistic source", "mean point error", "max point error",
+			"mean range error", "SSE vs v-optimal"},
+	}
+	const n = 200_000
+	const card = 2048
+	vals := datagen.Take(datagen.NewZipf(81, 0, card, 0.9, true), n)
+	truth := bins.Build(vals, 1)
+
+	// Accelerator histograms: one pass, full data.
+	cfg := core.DefaultConfig(core.ColumnSpec{}, 0, card-1)
+	cfg.EquiDepthBuckets = 64
+	cfg.MaxDiffBuckets = 64
+	cfg.CompressedT = 32
+	cfg.CompressedBuckets = 64
+	circuit, err := core.NewCircuit(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res := circuit.ProcessValues(vals)
+
+	vopt := hist.SSE(hist.BuildVOptimal(truth, 64), truth)
+	addRow := func(name string, h *hist.Histogram) {
+		sse := hist.SSE(h, truth)
+		rel := "n/a"
+		if vopt > 0 {
+			rel = fmt.Sprintf("%.1fx", sse/vopt)
+		}
+		pe := hist.PointError(h, truth)
+		re := hist.RangeError(h, truth, 400, 82)
+		r.AddRaw("point", pe)
+		r.AddRaw("range", re)
+		r.AddRow(name,
+			fmt.Sprintf("%.6f", pe),
+			fmt.Sprintf("%.6f", hist.MaxPointError(h, truth)),
+			fmt.Sprintf("%.6f", re),
+			rel)
+	}
+
+	addRow("FPGA equi-depth (full data)", res.EquiDepth)
+	addRow("FPGA max-diff (full data)", res.MaxDiff)
+	addRow("FPGA compressed (full data)", res.Compressed)
+
+	// Sample-built equi-depth at decreasing rates.
+	for _, pct := range []int{50, 20, 10, 5} {
+		rng := datagen.NewRNG(uint64(83 + pct))
+		sample := make([]int64, 0, n*pct/100+1)
+		for _, v := range vals {
+			if rng.Intn(100) < pct {
+				sample = append(sample, v)
+			}
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		h := hist.BuildFromSorted(sample, hist.EquiDepth, 64, 0)
+		if h.Total > 0 {
+			h = h.Scale(float64(n) / float64(h.Total))
+		}
+		addRow(fmt.Sprintf("DBMS equi-depth, %d%% sample", pct), h)
+	}
+
+	r.Notes = append(r.Notes,
+		"Zipf(0.9) column, cardinality 2048, 200k rows; 64 buckets everywhere",
+		"expected shape: full-data rows at or below every sampled row; compressed lowest on point error",
+		"SSE column is relative to the optimal (v-optimal) histogram at the same bucket budget")
+	return r
+}
+
+// Variety reproduces the §6.3 "histogram variety" comparison: which
+// statistics each engine provides versus what the accelerator emits from a
+// single pass.
+func Variety() *Report {
+	r := &Report{
+		ID:      "variety",
+		Title:   "Statistics variety: commercial engines vs the accelerator",
+		Columns: []string{"system", "equi-depth", "TopK", "max-diff", "compressed"},
+	}
+	r.AddRow("Oracle", "yes (hybrid)", "yes", "no", "no")
+	r.AddRow("IBM DB2", "yes", "yes", "no", "no")
+	r.AddRow("PostgreSQL", "yes", "yes (MCV)", "no", "no")
+	r.AddRow("SQL Server", "no", "no", "yes", "no")
+	r.AddRow("FPGA accelerator", "yes", "yes", "yes", "yes")
+	r.Notes = append(r.Notes,
+		"the accelerator provides all four from the same scan at no additional cost (§5.2, §6.3)")
+	return r
+}

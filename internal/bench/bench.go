@@ -1,0 +1,50 @@
+package bench
+
+// Runner produces one reproduced artifact.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func() *Report
+}
+
+// All returns every experiment in paper order. Fig 1 and Fig 21 execute
+// real scaled-down queries and take a few seconds; the rest are fast.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "Q1 join time with accurate vs outdated statistics", func() *Report { return Fig1(DefaultFig1Config()) }},
+		{"fig2", "analysis vs full table scan, disk and memory", Fig2},
+		{"fig3to6", "the four histogram types on one distribution (§3)", Fig3to6},
+		{"fig7", "explicit vs implicit accelerator integration (§4)", Fig7},
+		{"table1", "Binner module throughput (worst/best/ideal)", Table1},
+		{"fig16", "histogram creation time vs table size", Fig16},
+		{"fig17", "1-column vs 8-column tables", Fig17},
+		{"fig18", "indexed tables in DBx", Fig18},
+		{"fig19", "effect of cardinality and type", Fig19},
+		{"fig20", "effect of Zipf skew", Fig20},
+		{"fig21", "PostgreSQL plan oscillation", func() *Report { return Fig21(DefaultFig21Config()) }},
+		{"table2", "statistical block properties", Table2},
+		{"fig22", "histogram creation time vs bin count", Fig22},
+		{"accuracy", "full-data vs sampled estimation error (§6.2)", Accuracy},
+		{"variety", "histogram variety comparison (§6.3)", Variety},
+		{"ablation-cache", "ablation: on-chip cache size and skew (§5.1.3)", AblationCache},
+		{"ablation-scaleup", "ablation: Binner replication for line rate (§7)", AblationScaleUp},
+		{"ablation-regions", "ablation: memory-region double buffering (§4)", AblationRegions},
+		{"ablation-divisor", "ablation: bin granularity vs accuracy (§5.1.1)", AblationDivisor},
+		{"ablation-memory", "ablation: faster memory moves the bottleneck (§7)", AblationMemory},
+		{"datapath", "data-path integrity, latency and keep-up (§4)", DataPathReport},
+		{"freshness", "catalog freshness: nightly vs autostats vs accelerator (§1)", Freshness},
+		{"piggyback", "piggyback method vs accelerator (§2 related work)", Piggyback},
+		{"access", "access-path choice under stale vs fresh statistics (§1)", Access},
+	}
+}
+
+// ByID returns the runner with the given ID, or nil.
+func ByID(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			out := r
+			return &out
+		}
+	}
+	return nil
+}

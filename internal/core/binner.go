@@ -1,0 +1,241 @@
+package core
+
+import (
+	"streamhist/internal/bins"
+	"streamhist/internal/hw"
+)
+
+// BinnerConfig parameterises the Binner module simulation.
+type BinnerConfig struct {
+	// Clock is the circuit clock; zero value means the default 150 MHz.
+	Clock hw.Clock
+	// Mem is the off-chip memory model.
+	Mem hw.MemParams
+	// CacheBytes sizes the on-chip write-through cache; 0 disables it,
+	// which re-introduces read-after-write stalls (§5.1.3).
+	CacheBytes int
+	// PipelineCyclesPerItem is the intrinsic pipeline issue rate — how
+	// often a new item can enter the PREPROCESS stage. Two cycles per item
+	// yields the 75 M values/s "Pipeline (Ideal)" row of Table 1.
+	PipelineCyclesPerItem float64
+}
+
+// DefaultBinnerConfig returns the paper's prototype parameters.
+func DefaultBinnerConfig() BinnerConfig {
+	return BinnerConfig{
+		Clock:                 hw.NewClock(hw.DefaultClockHz),
+		Mem:                   hw.DefaultMemParams(),
+		CacheBytes:            hw.DefaultCacheBytes,
+		PipelineCyclesPerItem: float64(hw.DefaultClockHz) / 75_000_000,
+	}
+}
+
+// BinnerStats reports what the Binner did and how long the simulated
+// hardware took.
+type BinnerStats struct {
+	Items       int64
+	Dropped     int64
+	MemReadOps  int64
+	MemWriteOps int64
+	CacheHits   int64
+	CacheMisses int64
+	// StallCycles counts cycles lost to read-after-write hazards; always 0
+	// when the cache covers the memory-latency window.
+	StallCycles int64
+	// Cycles is the completion time: the cycle at which the last write
+	// commits to memory.
+	Cycles int64
+}
+
+// Seconds converts the completion time using the given clock.
+func (s BinnerStats) Seconds(clk hw.Clock) float64 { return clk.Seconds(s.Cycles) }
+
+// ValuesPerSecond is the sustained update rate.
+func (s BinnerStats) ValuesPerSecond(clk hw.Clock) float64 {
+	sec := s.Seconds(clk)
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.Items) / sec
+}
+
+// Binner is the cycle-accounted simulation of the binning pipeline of
+// §5.1.2: PREPROCESS → READ → UPDATE → WRITE, decoupled by a FIFO, with the
+// §5.1.3 write-through cache forwarding in-flight lines so that throughput
+// does not depend on data skew.
+//
+// Timing model. The pipeline hides memory latency (that is its purpose), so
+// steady-state progress is limited by two rates, not by latency:
+//
+//   - the pipeline issue rate (one item per PipelineCyclesPerItem), and
+//   - the memory-op budget (each cache miss costs a random-rate read plus a
+//     write; each hit costs only a burst-rate write).
+//
+// Latency still matters in exactly the places it matters in hardware: the
+// completion tail (the last write commits LatencyCycles after it issues)
+// and read-after-write hazards. When the cache cannot forward a line that
+// has an in-flight write, the pipeline stalls until the write commits —
+// reproducing the skew-dependent slowdown the cache exists to eliminate.
+// The simulation advances virtual time per item, which is exact for these
+// linear constraints, and lets the model stream hundreds of millions of
+// values in seconds of host time.
+type Binner struct {
+	cfg   BinnerConfig
+	pre   *Preprocessor
+	cache *hw.Cache
+
+	vec *bins.Vector
+
+	pipeTime float64 // pipeline front time, cycles
+	opTime   float64 // memory port budget time, cycles
+
+	lastCommit float64
+
+	// pendingLineCommit maps a memory line to the cycle at which its most
+	// recent write commits; used to detect RAW hazards when the cache
+	// cannot forward.
+	pendingLineCommit map[int64]float64
+
+	randomPeriod float64
+	burstPeriod  float64
+	latency      float64
+
+	stats BinnerStats
+}
+
+// NewBinner wires a Binner for the given preprocessor. The returned
+// Binner's vector models the off-chip bin region.
+func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
+	if cfg.Clock.Hz == 0 {
+		cfg.Clock = hw.NewClock(hw.DefaultClockHz)
+	}
+	if cfg.Mem.BinsPerLine == 0 {
+		cfg.Mem = hw.DefaultMemParams()
+	}
+	if cfg.PipelineCyclesPerItem == 0 {
+		cfg.PipelineCyclesPerItem = float64(hw.DefaultClockHz) / 75_000_000
+	}
+	vec := bins.FromCounts(pre.Min, pre.Divisor, make([]int64, pre.NumBins))
+	return &Binner{
+		cfg:               cfg,
+		pre:               pre,
+		cache:             hw.NewCache(cfg.CacheBytes, hw.LineBytes),
+		vec:               vec,
+		pendingLineCommit: make(map[int64]float64),
+		randomPeriod:      float64(cfg.Clock.Hz) / float64(cfg.Mem.RandomOpsPerSec),
+		burstPeriod:       float64(cfg.Clock.Hz) / float64(cfg.Mem.BurstOpsPerSec),
+		latency:           float64(cfg.Mem.LatencyCycles),
+	}
+}
+
+// Push streams one value through the pipeline.
+func (b *Binner) Push(value int64) {
+	addr, ok := b.pre.Address(value)
+	if !ok {
+		b.stats.Dropped++
+		return
+	}
+	b.stats.Items++
+
+	// A new item enters the pipeline no faster than the issue rate allows,
+	// and no earlier than backpressure from the bounded FIFO in front of
+	// the memory port permits (the queue between READ and UPDATE of
+	// §5.1.2 is finite).
+	const maxBacklogCycles = 512
+	b.pipeTime += b.cfg.PipelineCyclesPerItem
+	if b.opTime-b.pipeTime > maxBacklogCycles {
+		b.pipeTime = b.opTime - maxBacklogCycles
+	}
+
+	line := addr / int64(b.cfg.Mem.BinsPerLine)
+
+	var dataReady float64
+	if b.cache.Lookup(line) {
+		// READ served by the cache: the freshest value of the line is
+		// forwarded between pipeline stages; no memory read op.
+		b.stats.CacheHits++
+		dataReady = b.pipeTime
+	} else {
+		b.stats.CacheMisses++
+		readIssue := maxf(b.pipeTime, b.opTime)
+		// Without forwarding, a read that overlaps an in-flight write to
+		// the same line must stall the pipeline until that write commits
+		// (§5.1.3).
+		if commit, busy := b.pendingLineCommit[line]; busy && commit > readIssue {
+			b.stats.StallCycles += int64(commit - readIssue)
+			b.pipeTime = commit
+			readIssue = commit
+		}
+		b.opTime = maxf(b.opTime, readIssue) + b.randomPeriod
+		dataReady = readIssue + b.latency
+		b.stats.MemReadOps++
+	}
+
+	// UPDATE: increment the bin (the functional effect).
+	b.vec.AddCount(b.pre.Min+addr*b.pre.Divisor, 1)
+
+	// WRITE: write-through. Ops to recently touched (cached) lines go at
+	// burst rate; cold lines pay the random-access rate. The write op only
+	// consumes port bandwidth — it does not hold back reads of later
+	// items, which is what the FIFO between the stages buys.
+	period := b.randomPeriod
+	if b.cache.Contains(line) {
+		period = b.burstPeriod
+	}
+	b.opTime += period
+	writeIssue := maxf(b.opTime, dataReady)
+	commit := writeIssue + b.latency
+	b.stats.MemWriteOps++
+	b.pendingLineCommit[line] = commit
+	if commit > b.lastCommit {
+		b.lastCommit = commit
+	}
+	b.cache.Insert(line)
+
+	// Retire pending-commit entries lazily so the map stays small.
+	if len(b.pendingLineCommit) > 4*b.cache.Lines()+1024 {
+		horizon := minf(b.pipeTime, b.opTime)
+		for l, c := range b.pendingLineCommit {
+			if c <= horizon {
+				delete(b.pendingLineCommit, l)
+			}
+		}
+	}
+}
+
+// PushAll streams a whole column.
+func (b *Binner) PushAll(values []int64) {
+	for _, v := range values {
+		b.Push(v)
+	}
+}
+
+// Finish returns the binned view and final statistics. The completion cycle
+// is when the last write has committed — the moment the Binner "will send
+// the total count to the Histogram module, signaling that it finished".
+func (b *Binner) Finish() (*bins.Vector, BinnerStats) {
+	b.stats.Cycles = int64(b.lastCommit + 0.5)
+	b.stats.CacheHits = b.cache.Hits()
+	b.stats.CacheMisses = b.cache.Misses()
+	return b.vec, b.stats
+}
+
+// Vector exposes the bin region (useful mid-stream for tests).
+func (b *Binner) Vector() *bins.Vector { return b.vec }
+
+// CacheHitRate returns the hit rate of the on-chip cache so far.
+func (b *Binner) CacheHitRate() float64 { return b.cache.HitRate() }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+	"streamhist/internal/page"
+	"streamhist/internal/table"
+	"streamhist/internal/tpch"
+)
+
+func TestCircuitEndToEndMatchesSoftwareReference(t *testing.T) {
+	// Full path: relation → pages → Parser → Binner → blocks, compared
+	// against histograms built directly from the column.
+	rel := tpch.Lineitem(20000, 1, 7)
+	res, err := ProcessRelation(rel, "l_quantity", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := rel.ColumnByName("l_quantity")
+	truth := bins.Build(col, 1)
+
+	if res.Bins.Total() != int64(len(col)) {
+		t.Fatalf("binned %d values, want %d", res.Bins.Total(), len(col))
+	}
+
+	wantED := hist.BuildEquiDepth(truth, 256)
+	if len(res.EquiDepth.Buckets) != len(wantED.Buckets) {
+		t.Fatalf("equi-depth buckets %d != %d", len(res.EquiDepth.Buckets), len(wantED.Buckets))
+	}
+	for i := range wantED.Buckets {
+		if res.EquiDepth.Buckets[i] != wantED.Buckets[i] {
+			t.Errorf("equi-depth bucket %d differs", i)
+		}
+	}
+
+	wantTop := hist.BuildTopK(truth, 64)
+	for i := range wantTop {
+		if res.TopK[i] != wantTop[i] {
+			t.Errorf("topk entry %d differs: %+v != %+v", i, res.TopK[i], wantTop[i])
+		}
+	}
+
+	wantMD := hist.BuildMaxDiff(truth, 64)
+	for i := range wantMD.Buckets {
+		if res.MaxDiff.Buckets[i] != wantMD.Buckets[i] {
+			t.Errorf("max-diff bucket %d differs", i)
+		}
+	}
+
+	wantC := hist.BuildCompressed(truth, 64, 64)
+	for i := range wantC.Frequent {
+		if res.Compressed.Frequent[i] != wantC.Frequent[i] {
+			t.Errorf("compressed frequent %d differs", i)
+		}
+	}
+	for i := range wantC.Buckets {
+		if res.Compressed.Buckets[i] != wantC.Buckets[i] {
+			t.Errorf("compressed bucket %d differs", i)
+		}
+	}
+}
+
+func TestCircuitDecimalColumn(t *testing.T) {
+	rel := tpch.Lineitem(5000, 1, 8)
+	res, err := ProcessRelation(rel, "l_extendedprice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Total() != 5000 {
+		t.Fatalf("binned %d values", res.Bins.Total())
+	}
+	if res.EquiDepth == nil || len(res.EquiDepth.Buckets) == 0 {
+		t.Fatal("no equi-depth histogram")
+	}
+}
+
+func TestCircuitDateUnpackedColumn(t *testing.T) {
+	// Oracle-style unpacked dates must flow through parser+preprocessor.
+	sch := table.NewSchema(table.Column{Name: "d", Type: table.DateUnpacked})
+	rel := table.NewRelation("dates", sch)
+	rng := datagen.NewRNG(9)
+	for i := 0; i < 3000; i++ {
+		rel.Append(table.Row{10000 + rng.Int63n(365)})
+	}
+	res, err := ProcessRelation(rel, "d", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Total() != 3000 {
+		t.Fatalf("binned %d values", res.Bins.Total())
+	}
+	truth := bins.Build(rel.ColumnByName("d"), 1)
+	if res.Bins.Cardinality() != truth.Cardinality() {
+		t.Errorf("cardinality %d != %d", res.Bins.Cardinality(), truth.Cardinality())
+	}
+}
+
+func TestCircuitSelectiveBlocks(t *testing.T) {
+	rel := tpch.Lineitem(2000, 1, 10)
+	res, err := ProcessRelation(rel, "l_quantity", func(c Config) Config {
+		c.TopK = 0
+		c.MaxDiffBuckets = 0
+		c.CompressedBuckets = 0
+		return c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopK != nil || res.MaxDiff != nil || res.Compressed != nil {
+		t.Error("disabled blocks produced results")
+	}
+	if res.EquiDepth == nil {
+		t.Error("enabled block missing")
+	}
+}
+
+func TestCircuitTimingFields(t *testing.T) {
+	rel := tpch.Lineitem(10000, 1, 11)
+	res, err := ProcessRelation(rel, "l_quantity", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinningSeconds <= 0 || res.HistogramSeconds <= 0 {
+		t.Errorf("phases: binning=%v histogram=%v", res.BinningSeconds, res.HistogramSeconds)
+	}
+	if res.TotalSeconds < res.BinningSeconds+res.HistogramSeconds {
+		t.Error("total below the sum of phases")
+	}
+	// The "bump in the wire": added host-path latency is micro-scale and
+	// independent of the table size.
+	if res.HostPathAddedSeconds <= 0 || res.HostPathAddedSeconds > 1e-3 {
+		t.Errorf("host path latency = %v", res.HostPathAddedSeconds)
+	}
+	big := tpch.Lineitem(20000, 1, 11)
+	res2, _ := ProcessRelation(big, "l_quantity", nil)
+	if res2.HostPathAddedSeconds != res.HostPathAddedSeconds {
+		t.Error("host-path latency should not depend on table size")
+	}
+}
+
+func TestCircuitRejectsBadConfig(t *testing.T) {
+	if _, err := NewCircuit(Config{Min: 10, Max: 5}); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestProcessRelationUnknownColumn(t *testing.T) {
+	rel := tpch.Lineitem(100, 1, 12)
+	if _, err := ProcessRelation(rel, "nope", nil); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestProcessRelationEmptyColumn(t *testing.T) {
+	rel := table.NewRelation("e", table.NewSchema(table.Column{Name: "v", Type: table.Int64}))
+	if _, err := ProcessRelation(rel, "v", nil); err == nil {
+		t.Error("empty relation accepted")
+	}
+}
+
+func TestCircuitHistogramVariety(t *testing.T) {
+	// §6.3 "Histogram variety": one pass provides TopK + equi-depth +
+	// Max-diff + Compressed together, the superset of what the four
+	// commercial engines offer individually.
+	rel := tpch.Synthetic(20000, 1, 2048, 0.75, 13)
+	res, err := ProcessRelation(rel, "c0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) == 0 || res.EquiDepth == nil || res.MaxDiff == nil || res.Compressed == nil {
+		t.Error("missing a histogram flavour")
+	}
+}
+
+func TestCircuitProcessValuesAvoidsParser(t *testing.T) {
+	vals := datagen.Take(datagen.NewUniform(3, 0, 1000), 5000)
+	cfg := DefaultConfig(ColumnSpec{Offset: 0, Type: table.Int64}, 0, 999)
+	c, err := NewCircuit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.ProcessValues(vals)
+	if res.Bins.Total() != 5000 {
+		t.Errorf("binned %d", res.Bins.Total())
+	}
+}
+
+func TestCircuitPagesRoundTrip(t *testing.T) {
+	// Process(pages) path (not just ProcessRelation).
+	rel := tpch.Lineitem(3000, 1, 14)
+	spec, _ := SpecFor(rel.Schema, "l_quantity")
+	cfg := DefaultConfig(spec, 1, 50)
+	c, err := NewCircuit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Process(page.Encode(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Total() != 3000 {
+		t.Errorf("binned %d", res.Bins.Total())
+	}
+}

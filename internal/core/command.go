@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"streamhist/internal/table"
+)
+
+// The host configures the statistical circuit by piggybacking "a metadata
+// packet ... on the original command to the data storage" (§4). Command is
+// that packet: which bytes of each row hold the column, how to map values
+// to bins, and how each statistic block should be parameterised. The
+// wire format is a fixed 44-byte little-endian layout:
+//
+//	[0:2]   magic 0xACC0
+//	[2:4]   column byte offset
+//	[4]     column type
+//	[5]     flags (reserved, zero)
+//	[6:14]  min value
+//	[14:22] max value
+//	[22:30] divisor
+//	[30:32] TopK T
+//	[32:34] equi-depth buckets B
+//	[34:36] max-diff buckets
+//	[36:38] compressed T
+//	[38:40] compressed buckets
+//	[40:44] reserved (zero)
+type Command struct {
+	Column            ColumnSpec
+	Min, Max          int64
+	Divisor           int64
+	TopK              int
+	EquiDepthBuckets  int
+	MaxDiffBuckets    int
+	CompressedT       int
+	CompressedBuckets int
+}
+
+// CommandSize is the packet's wire size in bytes.
+const CommandSize = 44
+
+// commandMagic identifies a configuration packet.
+const commandMagic uint16 = 0xACC0
+
+// ErrBadCommand reports an undecodable or invalid packet.
+var ErrBadCommand = errors.New("core: bad configuration command")
+
+// CommandFromConfig extracts the wire-transmissible part of a Config.
+func CommandFromConfig(cfg Config) Command {
+	return Command{
+		Column:            cfg.Column,
+		Min:               cfg.Min,
+		Max:               cfg.Max,
+		Divisor:           cfg.Divisor,
+		TopK:              cfg.TopK,
+		EquiDepthBuckets:  cfg.EquiDepthBuckets,
+		MaxDiffBuckets:    cfg.MaxDiffBuckets,
+		CompressedT:       cfg.CompressedT,
+		CompressedBuckets: cfg.CompressedBuckets,
+	}
+}
+
+// Config expands the command back into a full circuit configuration with
+// the default platform model.
+func (c Command) Config() Config {
+	cfg := DefaultConfig(c.Column, c.Min, c.Max)
+	cfg.Divisor = c.Divisor
+	cfg.TopK = c.TopK
+	cfg.EquiDepthBuckets = c.EquiDepthBuckets
+	cfg.MaxDiffBuckets = c.MaxDiffBuckets
+	cfg.CompressedT = c.CompressedT
+	cfg.CompressedBuckets = c.CompressedBuckets
+	return cfg
+}
+
+// Validate checks the command's internal consistency.
+func (c Command) Validate() error {
+	if c.Max < c.Min {
+		return fmt.Errorf("%w: empty value range [%d, %d]", ErrBadCommand, c.Min, c.Max)
+	}
+	if c.Divisor < 1 {
+		return fmt.Errorf("%w: divisor %d", ErrBadCommand, c.Divisor)
+	}
+	if c.Column.Offset < 0 || c.Column.Offset > 0xffff {
+		return fmt.Errorf("%w: column offset %d", ErrBadCommand, c.Column.Offset)
+	}
+	switch c.Column.Type {
+	case table.Int64, table.Decimal, table.Date, table.DateUnpacked:
+	default:
+		return fmt.Errorf("%w: column type %d", ErrBadCommand, c.Column.Type)
+	}
+	for _, p := range []struct {
+		name string
+		v    int
+	}{
+		{"TopK", c.TopK},
+		{"equi-depth buckets", c.EquiDepthBuckets},
+		{"max-diff buckets", c.MaxDiffBuckets},
+		{"compressed T", c.CompressedT},
+		{"compressed buckets", c.CompressedBuckets},
+	} {
+		if p.v < 0 || p.v > 0xffff {
+			return fmt.Errorf("%w: %s %d out of range", ErrBadCommand, p.name, p.v)
+		}
+	}
+	if c.TopK == 0 && c.EquiDepthBuckets == 0 && c.MaxDiffBuckets == 0 &&
+		(c.CompressedBuckets == 0 || c.CompressedT == 0) {
+		return fmt.Errorf("%w: no statistic block enabled", ErrBadCommand)
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c Command) MarshalBinary() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, CommandSize)
+	binary.LittleEndian.PutUint16(out[0:], commandMagic)
+	binary.LittleEndian.PutUint16(out[2:], uint16(c.Column.Offset))
+	out[4] = byte(c.Column.Type)
+	binary.LittleEndian.PutUint64(out[6:], uint64(c.Min))
+	binary.LittleEndian.PutUint64(out[14:], uint64(c.Max))
+	binary.LittleEndian.PutUint64(out[22:], uint64(c.Divisor))
+	binary.LittleEndian.PutUint16(out[30:], uint16(c.TopK))
+	binary.LittleEndian.PutUint16(out[32:], uint16(c.EquiDepthBuckets))
+	binary.LittleEndian.PutUint16(out[34:], uint16(c.MaxDiffBuckets))
+	binary.LittleEndian.PutUint16(out[36:], uint16(c.CompressedT))
+	binary.LittleEndian.PutUint16(out[38:], uint16(c.CompressedBuckets))
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Command) UnmarshalBinary(data []byte) error {
+	if len(data) != CommandSize {
+		return fmt.Errorf("%w: %d bytes, want %d", ErrBadCommand, len(data), CommandSize)
+	}
+	if binary.LittleEndian.Uint16(data[0:]) != commandMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadCommand)
+	}
+	out := Command{
+		Column: ColumnSpec{
+			Offset: int(binary.LittleEndian.Uint16(data[2:])),
+			Type:   table.Type(data[4]),
+		},
+		Min:               int64(binary.LittleEndian.Uint64(data[6:])),
+		Max:               int64(binary.LittleEndian.Uint64(data[14:])),
+		Divisor:           int64(binary.LittleEndian.Uint64(data[22:])),
+		TopK:              int(binary.LittleEndian.Uint16(data[30:])),
+		EquiDepthBuckets:  int(binary.LittleEndian.Uint16(data[32:])),
+		MaxDiffBuckets:    int(binary.LittleEndian.Uint16(data[34:])),
+		CompressedT:       int(binary.LittleEndian.Uint16(data[36:])),
+		CompressedBuckets: int(binary.LittleEndian.Uint16(data[38:])),
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*c = out
+	return nil
+}
+
+// NewCircuitFromCommand decodes a configuration packet and builds the
+// circuit it describes — the accelerator's control-plane entry point.
+func NewCircuitFromCommand(packet []byte) (*Circuit, error) {
+	var cmd Command
+	if err := cmd.UnmarshalBinary(packet); err != nil {
+		return nil, err
+	}
+	return NewCircuit(cmd.Config())
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/page"
+	"streamhist/internal/table"
+	"streamhist/internal/tpch"
+)
+
+func validCommand() Command {
+	return Command{
+		Column:            ColumnSpec{Offset: 32, Type: table.Decimal},
+		Min:               0,
+		Max:               1_000_000,
+		Divisor:           1,
+		TopK:              64,
+		EquiDepthBuckets:  256,
+		MaxDiffBuckets:    64,
+		CompressedT:       64,
+		CompressedBuckets: 64,
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	cmd := validCommand()
+	data, err := cmd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != CommandSize {
+		t.Fatalf("packet is %d bytes, want %d", len(data), CommandSize)
+	}
+	var back Command
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back != cmd {
+		t.Errorf("round trip: %+v != %+v", back, cmd)
+	}
+}
+
+func TestCommandRoundTripProperty(t *testing.T) {
+	f := func(offset uint16, typ uint8, min int32, span uint16, div uint8, t1, b1 uint8) bool {
+		cmd := Command{
+			Column: ColumnSpec{
+				Offset: int(offset),
+				Type:   table.Type(typ % 4),
+			},
+			Min:              int64(min),
+			Max:              int64(min) + int64(span),
+			Divisor:          int64(div%16) + 1,
+			TopK:             int(t1%63) + 1,
+			EquiDepthBuckets: int(b1%255) + 1,
+		}
+		data, err := cmd.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Command
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return back == cmd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommandValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Command)
+	}{
+		{"empty range", func(c *Command) { c.Min, c.Max = 10, 5 }},
+		{"zero divisor", func(c *Command) { c.Divisor = 0 }},
+		{"bad type", func(c *Command) { c.Column.Type = 200 }},
+		{"negative offset", func(c *Command) { c.Column.Offset = -1 }},
+		{"huge TopK", func(c *Command) { c.TopK = 1 << 20 }},
+		{"no blocks", func(c *Command) {
+			c.TopK, c.EquiDepthBuckets, c.MaxDiffBuckets, c.CompressedBuckets = 0, 0, 0, 0
+		}},
+	}
+	for _, tc := range cases {
+		cmd := validCommand()
+		tc.mutate(&cmd)
+		if err := cmd.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+		if _, err := cmd.MarshalBinary(); err == nil {
+			t.Errorf("%s: marshalled", tc.name)
+		}
+	}
+}
+
+func TestCommandUnmarshalRejectsGarbage(t *testing.T) {
+	var c Command
+	if err := c.UnmarshalBinary(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if err := c.UnmarshalBinary(make([]byte, CommandSize)); err == nil {
+		t.Error("zero packet accepted")
+	}
+	good, _ := validCommand().MarshalBinary()
+	if err := c.UnmarshalBinary(good[:CommandSize-1]); err == nil {
+		t.Error("short packet accepted")
+	}
+	// Valid wire layout but semantically invalid content.
+	bad := append([]byte(nil), good...)
+	bad[22] = 0 // divisor -> 0
+	for i := 23; i < 30; i++ {
+		bad[i] = 0
+	}
+	if err := c.UnmarshalBinary(bad); err == nil {
+		t.Error("invalid divisor accepted")
+	}
+}
+
+func TestNewCircuitFromCommandEndToEnd(t *testing.T) {
+	// The full control-plane flow: host derives the command from the
+	// schema, serialises it, the accelerator decodes it and processes the
+	// data plane.
+	rel := tpch.Lineitem(5000, 1, 51)
+	spec, err := SpecFor(rel.Schema, "l_quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := CommandFromConfig(DefaultConfig(spec, 1, 50))
+	packet, err := cmd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuit, err := NewCircuitFromCommand(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := circuit.Process(page.Encode(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Total() != 5000 {
+		t.Errorf("binned %d values", res.Bins.Total())
+	}
+	if res.EquiDepth == nil || len(res.EquiDepth.Buckets) == 0 {
+		t.Error("no histogram from command-configured circuit")
+	}
+}
+
+func TestNewCircuitFromCommandRejectsBadPacket(t *testing.T) {
+	if _, err := NewCircuitFromCommand([]byte{1, 2, 3}); err == nil {
+		t.Error("bad packet accepted")
+	}
+}
+
+func TestCommandConfigDefaults(t *testing.T) {
+	cfg := validCommand().Config()
+	if cfg.Binner.Clock.Hz == 0 {
+		t.Error("command config missing platform defaults")
+	}
+	if cfg.ParseLatencyMicros == 0 {
+		t.Error("command config missing parser latency")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+)
+
+// TestCircuitMatchesReferenceForRandomConfigs is the repository's central
+// correctness property: for random distributions, random block parameters
+// and random bin granularities, every histogram the simulated hardware
+// produces is bit-identical to the software reference built from the same
+// binned view.
+func TestCircuitMatchesReferenceForRandomConfigs(t *testing.T) {
+	f := func(seed uint64, skewRaw, cardRaw uint16, tRaw, bRaw, divRaw uint8) bool {
+		card := int64(cardRaw%5000) + 10
+		skew := float64(skewRaw%120) / 100 // 0 .. 1.19
+		T := int(tRaw%32) + 1
+		B := int(bRaw%128) + 2
+		div := int64(divRaw%8) + 1
+
+		var gen datagen.Generator
+		if skew == 0 {
+			gen = datagen.NewUniform(seed, 0, card)
+		} else {
+			gen = datagen.NewZipf(seed, 0, card, skew, true)
+		}
+		vals := datagen.Take(gen, 4000)
+
+		cfg := DefaultConfig(ColumnSpec{}, 0, card-1)
+		cfg.Divisor = div
+		cfg.TopK = T
+		cfg.EquiDepthBuckets = B
+		cfg.MaxDiffBuckets = B
+		cfg.CompressedT = T
+		cfg.CompressedBuckets = B
+		circuit, err := NewCircuit(cfg)
+		if err != nil {
+			return false
+		}
+		res := circuit.ProcessValues(vals)
+
+		truth := bins.NewVector(0, card-1, div)
+		for _, v := range vals {
+			truth.Add(v)
+		}
+
+		wantTop := hist.BuildTopK(truth, T)
+		if len(res.TopK) != len(wantTop) {
+			return false
+		}
+		for i := range wantTop {
+			if res.TopK[i] != wantTop[i] {
+				return false
+			}
+		}
+		for _, pair := range []struct {
+			got, want *hist.Histogram
+		}{
+			{res.EquiDepth, hist.BuildEquiDepth(truth, B)},
+			{res.MaxDiff, hist.BuildMaxDiff(truth, B)},
+			{res.Compressed, hist.BuildCompressed(truth, T, B)},
+		} {
+			if len(pair.got.Buckets) != len(pair.want.Buckets) {
+				return false
+			}
+			for i := range pair.want.Buckets {
+				if pair.got.Buckets[i] != pair.want.Buckets[i] {
+					return false
+				}
+			}
+			if len(pair.got.Frequent) != len(pair.want.Frequent) {
+				return false
+			}
+			for i := range pair.want.Frequent {
+				if pair.got.Frequent[i] != pair.want.Frequent[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package core implements the paper's primary contribution: the statistical
+// circuit that computes histograms as a side effect of data movement.
+//
+// The circuit mirrors Figure 9 of the paper:
+//
+//	storage ──► Splitter ──────────────────────────► host   (cut-through)
+//	               │ copy
+//	               ▼
+//	            Parser ──► Binner ──► [bins in memory] ──► Scanner ──► TopK ─► EquiDepth ─► MaxDiff ─► Compressed
+//	                                                                   (daisy chain of statistic blocks)
+//
+// Every module is a cycle-accounted simulation of the corresponding FPGA
+// block, driven by the platform model in internal/hw. The functional outputs
+// (histograms) are bit-identical to the software reference implementations
+// in internal/hist, and the cycle accounting reproduces Table 1 (Binner
+// throughput) and Table 2 (per-block result latency) of the paper.
+package core

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Preprocessor translates column values into bin addresses (§5.1.1): it
+// subtracts the column minimum and optionally divides by a constant so that
+// several consecutive values share a bin (e.g. second-granularity timestamps
+// binned per day). Type unpacking (Oracle dates) has already happened in the
+// Parser's value decoding, exactly where the paper places "convert a handful
+// of predefined unpacked types to integers".
+//
+// Values outside [Min, Min+NumBins*Divisor) cannot be mapped to a bin; the
+// hardware would drop them and raise a flag, and the model counts them.
+type Preprocessor struct {
+	// Min is the smallest value the host declared for the column.
+	Min int64
+	// Divisor coarsens the mapping; must be >= 1.
+	Divisor int64
+	// NumBins is the size of the memory region reserved for bins (Δ).
+	NumBins int64
+
+	dropped int64
+}
+
+// NewPreprocessor validates and builds a preprocessor.
+func NewPreprocessor(min, divisor, numBins int64) (*Preprocessor, error) {
+	if divisor < 1 {
+		return nil, fmt.Errorf("core: preprocessor divisor must be >= 1, got %d", divisor)
+	}
+	if numBins < 1 {
+		return nil, fmt.Errorf("core: preprocessor needs at least one bin, got %d", numBins)
+	}
+	return &Preprocessor{Min: min, Divisor: divisor, NumBins: numBins}, nil
+}
+
+// RangeFor sizes a preprocessor to cover [min, max] at the given divisor.
+func RangeFor(min, max, divisor int64) (*Preprocessor, error) {
+	if max < min {
+		return nil, fmt.Errorf("core: preprocessor range [%d, %d] is empty", min, max)
+	}
+	if divisor < 1 {
+		return nil, fmt.Errorf("core: preprocessor divisor must be >= 1, got %d", divisor)
+	}
+	return NewPreprocessor(min, divisor, (max-min)/divisor+1)
+}
+
+// Address maps a value to its bin address; ok is false for out-of-range
+// values (which are counted as dropped).
+func (p *Preprocessor) Address(value int64) (addr int64, ok bool) {
+	if value < p.Min {
+		p.dropped++
+		return 0, false
+	}
+	a := (value - p.Min) / p.Divisor
+	if a >= p.NumBins {
+		p.dropped++
+		return 0, false
+	}
+	return a, true
+}
+
+// Dropped returns how many values fell outside the configured range.
+func (p *Preprocessor) Dropped() int64 { return p.dropped }

@@ -1,0 +1,79 @@
+package core
+
+import "testing"
+
+func TestPreprocessorBasicMapping(t *testing.T) {
+	p, err := NewPreprocessor(100, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := p.Address(100); !ok || a != 0 {
+		t.Errorf("Address(100) = %d, %v", a, ok)
+	}
+	if a, ok := p.Address(149); !ok || a != 49 {
+		t.Errorf("Address(149) = %d, %v", a, ok)
+	}
+}
+
+func TestPreprocessorOutOfRange(t *testing.T) {
+	p, _ := NewPreprocessor(100, 1, 50)
+	if _, ok := p.Address(99); ok {
+		t.Error("below-min value mapped")
+	}
+	if _, ok := p.Address(150); ok {
+		t.Error("above-range value mapped")
+	}
+	if p.Dropped() != 2 {
+		t.Errorf("Dropped = %d", p.Dropped())
+	}
+}
+
+func TestPreprocessorDivisor(t *testing.T) {
+	// Timestamp-seconds to days: divisor 86400 (the §5.1.1 example).
+	p, err := RangeFor(0, 10*86400-1, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBins != 10 {
+		t.Fatalf("NumBins = %d", p.NumBins)
+	}
+	if a, _ := p.Address(0); a != 0 {
+		t.Errorf("Address(0) = %d", a)
+	}
+	if a, _ := p.Address(86399); a != 0 {
+		t.Errorf("Address(86399) = %d", a)
+	}
+	if a, _ := p.Address(86400); a != 1 {
+		t.Errorf("Address(86400) = %d", a)
+	}
+}
+
+func TestPreprocessorNegativeDomain(t *testing.T) {
+	// c_acctbal spans [-99999, 999999]; subtraction of the min must map
+	// the whole domain onto non-negative addresses.
+	p, err := RangeFor(-99999, 999999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := p.Address(-99999); !ok || a != 0 {
+		t.Errorf("Address(min) = %d, %v", a, ok)
+	}
+	if a, ok := p.Address(0); !ok || a != 99999 {
+		t.Errorf("Address(0) = %d, %v", a, ok)
+	}
+}
+
+func TestPreprocessorValidation(t *testing.T) {
+	if _, err := NewPreprocessor(0, 0, 10); err == nil {
+		t.Error("divisor 0 accepted")
+	}
+	if _, err := NewPreprocessor(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := RangeFor(10, 5, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := RangeFor(0, 10, 0); err == nil {
+		t.Error("RangeFor divisor 0 accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/table"
+)
+
+// regionScans builds a batch of scans whose histogram phase is substantial
+// relative to binning (small row count, large bin region), so overlap is
+// visible in the timeline.
+func regionScans(n int) []TableScan {
+	scans := make([]TableScan, n)
+	for i := range scans {
+		scans[i] = TableScan{
+			Name:   "t" + string(rune('0'+i)),
+			Values: datagen.Take(datagen.NewUniform(uint64(10+i), 0, 1<<20), 50_000),
+			Min:    0, Max: 1<<20 - 1, Divisor: 1,
+		}
+	}
+	return scans
+}
+
+func regionConfig() Config {
+	cfg := DefaultConfig(ColumnSpec{Offset: 0, Type: table.Int64}, 0, 1<<20-1)
+	return cfg
+}
+
+func TestPipelinedCircuitFunctionalEquivalence(t *testing.T) {
+	scans := regionScans(3)
+	pc, err := NewPipelinedCircuit(regionConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pc.Process(scans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	// Each scan's binned view must equal a standalone run.
+	for i, out := range res.Outcomes {
+		want := datagen.Counts(scans[i].Values)
+		if out.Bins.Total() != int64(len(scans[i].Values)) {
+			t.Errorf("scan %d total = %d", i, out.Bins.Total())
+		}
+		for v, c := range want {
+			if out.Bins.CountValue(v) != c {
+				t.Errorf("scan %d count(%d) = %d, want %d", i, v, out.Bins.CountValue(v), c)
+				break
+			}
+		}
+	}
+}
+
+func TestPipelinedCircuitOverlap(t *testing.T) {
+	scans := regionScans(4)
+
+	one, err := NewPipelinedCircuit(regionConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := one.Process(scans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One region: no overlap possible; total equals the sequential sum.
+	if seq.TotalCycles != seq.SequentialCycles {
+		t.Errorf("single region: total %d != sequential %d", seq.TotalCycles, seq.SequentialCycles)
+	}
+	if seq.Overlap() != 0 {
+		t.Errorf("single region overlap = %v", seq.Overlap())
+	}
+
+	two, err := NewPipelinedCircuit(regionConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := two.Process(scans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalCycles >= seq.TotalCycles {
+		t.Errorf("two regions (%d cycles) not faster than one (%d cycles)",
+			par.TotalCycles, seq.TotalCycles)
+	}
+	if par.Overlap() <= 0 {
+		t.Errorf("overlap = %v, want positive", par.Overlap())
+	}
+	// Scan N+1's binning must start before scan N's histogram finished.
+	overlapped := false
+	for i := 1; i < len(par.Outcomes); i++ {
+		if par.Outcomes[i].BinStartCycle < par.Outcomes[i-1].HistEndCycle {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Error("no scan's binning overlapped the previous scan's histogram phase")
+	}
+}
+
+func TestPipelinedCircuitTimelineConsistency(t *testing.T) {
+	pc, err := NewPipelinedCircuit(regionConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pc.Process(regionScans(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevBinEnd, prevHistEnd int64
+	regionBusyUntil := map[int]int64{}
+	for i, out := range res.Outcomes {
+		if out.BinEndCycle-out.BinStartCycle != out.BinnerStats.Cycles {
+			t.Errorf("scan %d: bin phase length mismatch", i)
+		}
+		if out.HistEndCycle-out.HistStartCycle != out.Chain.TotalCycles {
+			t.Errorf("scan %d: hist phase length mismatch", i)
+		}
+		if out.HistStartCycle < out.BinEndCycle {
+			t.Errorf("scan %d: histogram started before binning finished", i)
+		}
+		// There is one Binner and one Histogram module: phases of the same
+		// kind never overlap across scans.
+		if out.BinStartCycle < prevBinEnd {
+			t.Errorf("scan %d: binner double-booked", i)
+		}
+		if out.HistStartCycle < prevHistEnd {
+			t.Errorf("scan %d: histogram module double-booked", i)
+		}
+		// A region is not reused while its histogram is still reading it.
+		if busy, ok := regionBusyUntil[out.Region]; ok && out.BinStartCycle < busy {
+			t.Errorf("scan %d: region %d reused at cycle %d while busy until %d",
+				i, out.Region, out.BinStartCycle, busy)
+		}
+		regionBusyUntil[out.Region] = out.HistEndCycle
+		prevBinEnd = out.BinEndCycle
+		prevHistEnd = out.HistEndCycle
+	}
+}
+
+func TestPipelinedCircuitRegionAssignment(t *testing.T) {
+	pc, err := NewPipelinedCircuit(regionConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pc.Process(regionScans(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two regions and uniform work the scans alternate regions.
+	for i, out := range res.Outcomes {
+		if out.Region != i%2 {
+			t.Errorf("scan %d on region %d, want %d", i, out.Region, i%2)
+		}
+	}
+}
+
+func TestPipelinedCircuitValidation(t *testing.T) {
+	if _, err := NewPipelinedCircuit(regionConfig(), 0); err == nil {
+		t.Error("zero regions accepted")
+	}
+	pc, _ := NewPipelinedCircuit(regionConfig(), 2)
+	if _, err := pc.Process([]TableScan{{Name: "bad", Min: 10, Max: 0}}); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestPipelinedCircuitEmptyBatch(t *testing.T) {
+	pc, _ := NewPipelinedCircuit(regionConfig(), 2)
+	res, err := pc.Process(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != 0 || len(res.Outcomes) != 0 {
+		t.Error("empty batch should be empty")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"streamhist/internal/hist"
+)
+
+// The statistic blocks emit their results on dedicated result ports (§5.2,
+// Figure 11), which the platform multiplexes back to the host. This file
+// defines that wire format end to end: a packet header, one section per
+// enabled block, and the host-side decoder.
+//
+// Packet layout (little-endian):
+//
+//	[0:2]   magic 0xACC1
+//	[2:4]   section count
+//	[4:12]  total row count
+//	[12:20] distinct count
+//	then per section:
+//	  [0]    section kind (wireTopK | wireEquiDepth | wireMaxDiff | wireCompressed)
+//	  [1:3]  bucket count n
+//	  [3:5]  frequent-entry count m
+//	  m 16-byte frequent entries: value int64, count int64
+//	  n 24-byte bucket entries:   low int64, high int64, count uint32, distinct uint32
+//
+// This is a superset of the paper's minimal (count, bins) pairs (§6.3):
+// carrying the bucket boundaries explicitly makes the packet
+// self-describing, so the host can install it in a catalog without
+// consulting the bin region.
+
+// Result-section kinds.
+const (
+	wireTopK       = 1
+	wireEquiDepth  = 2
+	wireMaxDiff    = 3
+	wireCompressed = 4
+)
+
+// resultsMagic identifies a result packet.
+const resultsMagic uint16 = 0xACC1
+
+// ErrBadResults reports an undecodable result packet.
+var ErrBadResults = errors.New("core: bad results packet")
+
+// EncodeResults serialises the accelerator's outputs for the host.
+func EncodeResults(r *Results) []byte {
+	var out []byte
+	var sections uint16
+
+	hdr := make([]byte, 20)
+	binary.LittleEndian.PutUint16(hdr[0:], resultsMagic)
+	var total, distinct int64
+	if r.Bins != nil {
+		total = r.Bins.Total()
+		distinct = int64(r.Bins.Cardinality())
+	}
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(total))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(distinct))
+	out = append(out, hdr...)
+
+	appendSection := func(kind byte, freq []hist.FrequentValue, buckets []hist.Bucket) {
+		sec := make([]byte, 5, 5+16*len(freq)+24*len(buckets))
+		sec[0] = kind
+		binary.LittleEndian.PutUint16(sec[1:], uint16(len(buckets)))
+		binary.LittleEndian.PutUint16(sec[3:], uint16(len(freq)))
+		var tmp [24]byte
+		for _, f := range freq {
+			binary.LittleEndian.PutUint64(tmp[0:], uint64(f.Value))
+			binary.LittleEndian.PutUint64(tmp[8:], uint64(f.Count))
+			sec = append(sec, tmp[:16]...)
+		}
+		for _, b := range buckets {
+			binary.LittleEndian.PutUint64(tmp[0:], uint64(b.Low))
+			binary.LittleEndian.PutUint64(tmp[8:], uint64(b.High))
+			binary.LittleEndian.PutUint32(tmp[16:], uint32(b.Count))
+			binary.LittleEndian.PutUint32(tmp[20:], uint32(b.Distinct))
+			sec = append(sec, tmp[:24]...)
+		}
+		out = append(out, sec...)
+		sections++
+	}
+
+	if r.TopK != nil {
+		appendSection(wireTopK, r.TopK, nil)
+	}
+	if r.EquiDepth != nil {
+		appendSection(wireEquiDepth, r.EquiDepth.Frequent, r.EquiDepth.Buckets)
+	}
+	if r.MaxDiff != nil {
+		appendSection(wireMaxDiff, r.MaxDiff.Frequent, r.MaxDiff.Buckets)
+	}
+	if r.Compressed != nil {
+		appendSection(wireCompressed, r.Compressed.Frequent, r.Compressed.Buckets)
+	}
+	binary.LittleEndian.PutUint16(out[2:], sections)
+	return out
+}
+
+// HostResults is the host-side view decoded from a result packet.
+type HostResults struct {
+	Total      int64
+	Distinct   int64
+	TopK       []hist.FrequentValue
+	EquiDepth  *hist.Histogram
+	MaxDiff    *hist.Histogram
+	Compressed *hist.Histogram
+}
+
+// DecodeResults parses a result packet.
+func DecodeResults(data []byte) (*HostResults, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("%w: %d-byte packet", ErrBadResults, len(data))
+	}
+	if binary.LittleEndian.Uint16(data[0:]) != resultsMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadResults)
+	}
+	sections := int(binary.LittleEndian.Uint16(data[2:]))
+	out := &HostResults{
+		Total:    int64(binary.LittleEndian.Uint64(data[4:])),
+		Distinct: int64(binary.LittleEndian.Uint64(data[12:])),
+	}
+	off := 20
+	need := func(n int) error {
+		if len(data)-off < n {
+			return fmt.Errorf("%w: truncated section at %d", ErrBadResults, off)
+		}
+		return nil
+	}
+
+	for s := 0; s < sections; s++ {
+		if err := need(5); err != nil {
+			return nil, err
+		}
+		kind := data[off]
+		n := int(binary.LittleEndian.Uint16(data[off+1:]))
+		m := int(binary.LittleEndian.Uint16(data[off+3:]))
+		off += 5
+		if err := need(16*m + 24*n); err != nil {
+			return nil, err
+		}
+		freq := make([]hist.FrequentValue, m)
+		for i := range freq {
+			freq[i].Value = int64(binary.LittleEndian.Uint64(data[off:]))
+			freq[i].Count = int64(binary.LittleEndian.Uint64(data[off+8:]))
+			off += 16
+		}
+		buckets := make([]hist.Bucket, n)
+		for i := range buckets {
+			buckets[i].Low = int64(binary.LittleEndian.Uint64(data[off:]))
+			buckets[i].High = int64(binary.LittleEndian.Uint64(data[off+8:]))
+			buckets[i].Count = int64(binary.LittleEndian.Uint32(data[off+16:]))
+			buckets[i].Distinct = int64(binary.LittleEndian.Uint32(data[off+20:]))
+			off += 24
+		}
+		if len(freq) == 0 {
+			freq = nil
+		}
+		if len(buckets) == 0 {
+			buckets = nil
+		}
+		switch kind {
+		case wireTopK:
+			out.TopK = freq
+		case wireEquiDepth, wireMaxDiff, wireCompressed:
+			h := &hist.Histogram{Buckets: buckets, Frequent: freq, Total: out.Total, DistinctTotal: out.Distinct}
+			switch kind {
+			case wireEquiDepth:
+				h.Kind = hist.EquiDepth
+				out.EquiDepth = h
+			case wireMaxDiff:
+				h.Kind = hist.MaxDiff
+				out.MaxDiff = h
+			default:
+				h.Kind = hist.Compressed
+				out.Compressed = h
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown section kind %d", ErrBadResults, kind)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadResults, len(data)-off)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"streamhist/internal/tpch"
+)
+
+func wireFixture(t *testing.T) *Results {
+	t.Helper()
+	rel := tpch.Synthetic(20000, 1, 2000, 0.8, 61)
+	res, err := ProcessRelation(rel, "c0", func(c Config) Config {
+		c.TopK = 8
+		c.EquiDepthBuckets = 32
+		c.MaxDiffBuckets = 16
+		c.CompressedT = 8
+		c.CompressedBuckets = 16
+		return c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestResultsWireRoundTrip(t *testing.T) {
+	res := wireFixture(t)
+	packet := EncodeResults(res)
+	host, err := DecodeResults(packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Total != res.Bins.Total() {
+		t.Errorf("total = %d, want %d", host.Total, res.Bins.Total())
+	}
+	if host.Distinct != int64(res.Bins.Cardinality()) {
+		t.Errorf("distinct = %d", host.Distinct)
+	}
+	if len(host.TopK) != len(res.TopK) {
+		t.Fatalf("topk %d != %d", len(host.TopK), len(res.TopK))
+	}
+	for i := range res.TopK {
+		if host.TopK[i] != res.TopK[i] {
+			t.Errorf("topk %d differs", i)
+		}
+	}
+	if len(host.EquiDepth.Buckets) != len(res.EquiDepth.Buckets) {
+		t.Fatalf("equi-depth buckets differ in count")
+	}
+	for i := range res.EquiDepth.Buckets {
+		if host.EquiDepth.Buckets[i] != res.EquiDepth.Buckets[i] {
+			t.Errorf("equi-depth bucket %d differs", i)
+		}
+	}
+	for i := range res.MaxDiff.Buckets {
+		if host.MaxDiff.Buckets[i] != res.MaxDiff.Buckets[i] {
+			t.Errorf("max-diff bucket %d differs", i)
+		}
+	}
+	for i := range res.Compressed.Frequent {
+		if host.Compressed.Frequent[i] != res.Compressed.Frequent[i] {
+			t.Errorf("compressed frequent %d differs", i)
+		}
+	}
+	for i := range res.Compressed.Buckets {
+		if host.Compressed.Buckets[i] != res.Compressed.Buckets[i] {
+			t.Errorf("compressed bucket %d differs", i)
+		}
+	}
+	// Decoded histograms estimate identically.
+	for v := int64(0); v < 2000; v += 37 {
+		if host.EquiDepth.EstimateEquals(v) != res.EquiDepth.EstimateEquals(v) {
+			t.Fatalf("estimate differs at %d", v)
+		}
+	}
+}
+
+func TestResultsWirePartialBlocks(t *testing.T) {
+	rel := tpch.Synthetic(3000, 1, 100, 0.5, 62)
+	res, err := ProcessRelation(rel, "c0", func(c Config) Config {
+		c.TopK = 0
+		c.MaxDiffBuckets = 0
+		c.CompressedBuckets = 0
+		c.EquiDepthBuckets = 8
+		return c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := DecodeResults(EncodeResults(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.TopK != nil || host.MaxDiff != nil || host.Compressed != nil {
+		t.Error("disabled blocks appeared on the wire")
+	}
+	if host.EquiDepth == nil {
+		t.Error("enabled block missing from the wire")
+	}
+}
+
+func TestDecodeResultsRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 10),
+		make([]byte, 20), // header-sized, wrong magic
+	}
+	for i, data := range cases {
+		if _, err := DecodeResults(data); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	res := wireFixture(t)
+	good := EncodeResults(res)
+	if _, err := DecodeResults(good[:len(good)-4]); err == nil {
+		t.Error("truncated packet accepted")
+	}
+	if _, err := DecodeResults(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[20] = 99 // unknown section kind
+	if _, err := DecodeResults(bad); err == nil {
+		t.Error("unknown section kind accepted")
+	}
+}
+
+func TestResultsWireSizeIsCompact(t *testing.T) {
+	// The packet should be a few KB — Table 2's point that results are
+	// tiny relative to the data (T+B entries, not the table).
+	res := wireFixture(t)
+	packet := EncodeResults(res)
+	if len(packet) > 4096 {
+		t.Errorf("packet is %d bytes; expected compact", len(packet))
+	}
+}

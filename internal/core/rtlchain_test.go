@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"streamhist/internal/bins"
+)
+
+// uniformVec builds a vector with delta bins of equal count.
+func uniformVec(delta int, count int64) *bins.Vector {
+	counts := make([]int64, delta)
+	for i := range counts {
+		counts[i] = count
+	}
+	return bins.FromCounts(0, 1, counts)
+}
+
+func TestRTLChainEquiDepthMatchesFormulaExactly(t *testing.T) {
+	// Uniform counts with Δ divisible by B: the first bucket closes after
+	// exactly Δ/B bins, so the observed first result must equal the
+	// Table 2 formula 2Δ/B to the cycle.
+	const delta, B = 6400, 64
+	vec := uniformVec(delta, 10)
+	blk := NewEquiDepthBlock(B, vec.Total())
+	res := NewRTLChain(nil).Run(vec, blk)
+	tm := res.Timings[0]
+	if tm.FirstResultCycles != 2*delta/B {
+		t.Errorf("observed first result %d, formula %d", tm.FirstResultCycles, 2*delta/B)
+	}
+	if tm.CompletionCycles != 2*delta {
+		t.Errorf("observed completion %d, formula %d", tm.CompletionCycles, 2*delta)
+	}
+	// And the formula-based accounting agrees.
+	acct := NewScanner().Run(uniformVec(delta, 10), NewEquiDepthBlock(B, vec.Total()))
+	if acct.Timings[0].FirstResultCycles != tm.FirstResultCycles {
+		t.Errorf("account() %d != RTL %d", acct.Timings[0].FirstResultCycles, tm.FirstResultCycles)
+	}
+}
+
+func TestRTLChainTopKMatchesFormulaExactly(t *testing.T) {
+	const delta, T = 5000, 64
+	vec := uniformVec(delta, 3)
+	blk := NewTopKBlock(T)
+	res := NewRTLChain(nil).Run(vec, blk)
+	tm := res.Timings[0]
+	if tm.FirstResultCycles != 2*delta+2*T {
+		t.Errorf("observed %d, formula %d", tm.FirstResultCycles, 2*delta+2*T)
+	}
+}
+
+func TestRTLChainTwoScanBlocksStructure(t *testing.T) {
+	// Max-diff: scan 1 (2Δ) + diff-list drain (2B) + full scan 2 (2Δ).
+	const delta, B, T = 4000, 64, 32
+	vec := uniformVec(delta, 5)
+	md := NewMaxDiffBlock(B)
+	res := NewRTLChain(nil).Run(vec, md)
+	if got, want := res.Timings[0].CompletionCycles, int64(2*delta+2*B+2*delta); got != want {
+		t.Errorf("max-diff completion %d, want %d", got, want)
+	}
+
+	comp := NewCompressedBlock(T, B, vec.Total())
+	res2 := NewRTLChain(nil).Run(uniformVec(delta, 5), comp)
+	if got, want := res2.Timings[0].CompletionCycles, int64(2*delta+2*T+2*delta); got != want {
+		t.Errorf("compressed completion %d, want %d", got, want)
+	}
+	// The formula-based accounting matches the observed structure.
+	acct := NewScanner().Run(uniformVec(delta, 5), NewMaxDiffBlock(B))
+	if acct.Timings[0].CompletionCycles != res.Timings[0].CompletionCycles {
+		t.Errorf("account() %d != RTL %d",
+			acct.Timings[0].CompletionCycles, res.Timings[0].CompletionCycles)
+	}
+}
+
+func TestRTLChainPassThrough(t *testing.T) {
+	// The same block one position later sees everything 2 cycles later.
+	const delta, B = 3200, 32
+	vec := uniformVec(delta, 7)
+	first := NewEquiDepthBlock(B, vec.Total())
+	second := NewEquiDepthBlock(B, vec.Total())
+	res := NewRTLChain(nil).Run(vec, first, second)
+	d := res.Timings[1].FirstResultCycles - res.Timings[0].FirstResultCycles
+	if d != 2 {
+		t.Errorf("pass-through delta = %d cycles, want 2", d)
+	}
+}
+
+func TestRTLChainEmptySlotsStillCostTime(t *testing.T) {
+	// Δ includes empty bins: a mostly-empty region takes as long to scan
+	// as a full one (the §6.3 point that cost depends on the bin count).
+	counts := make([]int64, 5000)
+	counts[0] = 1
+	counts[4999] = 1
+	sparse := bins.FromCounts(0, 1, counts)
+	blk := NewEquiDepthBlock(4, sparse.Total())
+	res := NewRTLChain(nil).Run(sparse, blk)
+	if res.Timings[0].CompletionCycles != 2*5000 {
+		t.Errorf("sparse completion %d, want %d", res.Timings[0].CompletionCycles, 2*5000)
+	}
+}
+
+func TestRTLChainFunctionalResultsUnchanged(t *testing.T) {
+	// The RTL walk must produce identical buckets to the plain run.
+	vec := zipfVec(20000, 700, 0.9, 77)
+	a := NewEquiDepthBlock(32, vec.Total())
+	NewRTLChain(nil).Run(vec, a)
+	b := NewEquiDepthBlock(32, vec.Total())
+	NewScanner().Run(vec, b)
+	ra, rb := a.Result(), b.Result()
+	if len(ra) != len(rb) {
+		t.Fatalf("bucket count %d != %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Errorf("bucket %d differs", i)
+		}
+	}
+}

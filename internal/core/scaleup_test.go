@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/hw"
+)
+
+func TestParallelBinnerFunctionalEquivalence(t *testing.T) {
+	// Replication must not change the result: merged partial counts equal
+	// a single Binner's counts for any input and any replica count.
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%7) + 1
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+		}
+		pb, err := NewParallelBinner(n, DefaultBinnerConfig(), 0, 1<<16-1, 1)
+		if err != nil {
+			return false
+		}
+		pb.PushAll(vals)
+		merged, _, err := pb.Finish()
+		if err != nil {
+			return false
+		}
+		want := datagen.Counts(vals)
+		if merged.Total() != int64(len(vals)) {
+			return false
+		}
+		for v, c := range want {
+			if merged.CountValue(v) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelBinnerThroughputScalesLinearly(t *testing.T) {
+	// Figure 23: "achieving higher data rates by replication". With a
+	// worst-case (never-hitting) stream, k replicas sustain ~k × 20 M/s.
+	clk := hw.NewClock(hw.DefaultClockHz)
+	vals := make([]int64, 240_000)
+	for i := range vals {
+		vals[i] = int64(i%4096) * int64(hw.DefaultBinsPerLine)
+	}
+	var base float64
+	for _, n := range []int{1, 2, 4, 8} {
+		pb, err := NewParallelBinner(n, DefaultBinnerConfig(), 0, 4096*8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb.PushAll(vals)
+		_, stats, err := pb.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := stats.ValuesPerSecond(clk)
+		if n == 1 {
+			base = rate
+			if math.Abs(base-20e6)/20e6 > 0.03 {
+				t.Fatalf("single-replica rate = %.1f M/s, want 20", base/1e6)
+			}
+			continue
+		}
+		if math.Abs(rate-float64(n)*base)/(float64(n)*base) > 0.05 {
+			t.Errorf("%d replicas: rate %.1f M/s, want ~%.1f M/s", n, rate/1e6, float64(n)*base/1e6)
+		}
+	}
+}
+
+func TestParallelBinnerAggregationConstantInReplicas(t *testing.T) {
+	// The partial-count merge cost depends on Δ only, not on the number
+	// of replicas ("aggregated in constant time", §7).
+	var aggCycles []int64
+	for _, n := range []int{1, 2, 8} {
+		pb, err := NewParallelBinner(n, DefaultBinnerConfig(), 0, 79999, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb.PushAll(datagen.Take(datagen.NewUniform(1, 0, 80000), 10000))
+		_, stats, err := pb.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggCycles = append(aggCycles, stats.AggregationCycles)
+	}
+	if aggCycles[0] != aggCycles[1] || aggCycles[1] != aggCycles[2] {
+		t.Errorf("aggregation cycles vary with replica count: %v", aggCycles)
+	}
+	if aggCycles[0] != 10000 { // 80000 bins / 8 per line
+		t.Errorf("aggregation cycles = %d, want 10000", aggCycles[0])
+	}
+}
+
+func TestReplicasForLineRate(t *testing.T) {
+	// §7's sizing: a 10 Gbps single-column stream is 312.5 M values/s.
+	if got := ReplicasForLineRate(10, 20e6); got != 16 {
+		t.Errorf("10 Gbps at worst-case rate needs %d replicas, want 16", got)
+	}
+	if got := ReplicasForLineRate(10, 50e6); got != 7 {
+		t.Errorf("10 Gbps at best-case rate needs %d replicas, want 7", got)
+	}
+	if got := ReplicasForLineRate(1, 20e6); got != 2 {
+		t.Errorf("1 Gbps needs %d replicas, want 2", got)
+	}
+	if got := ReplicasForLineRate(0.1, 20e6); got != 1 {
+		t.Errorf("0.1 Gbps needs %d replicas, want 1", got)
+	}
+}
+
+func TestLineRateGbps(t *testing.T) {
+	if got := LineRateGbps(312.5e6); math.Abs(got-10) > 1e-9 {
+		t.Errorf("312.5 M values/s = %.2f Gbps, want 10", got)
+	}
+	if got := LineRateGbps(20e6); math.Abs(got-0.64) > 1e-9 {
+		t.Errorf("20 M values/s = %.3f Gbps, want 0.64", got)
+	}
+}
+
+func TestParallelBinnerHistogramModuleUnchanged(t *testing.T) {
+	// §7: "The histogram module would not need to be modified" — the
+	// merged vector feeds the same chain and produces the same histograms
+	// as the single-binner path.
+	vals := datagen.Take(datagen.NewZipf(9, 0, 3000, 0.8, true), 60000)
+
+	single := NewBinner(DefaultBinnerConfig(), mustRange(t, 0, 2999))
+	single.PushAll(vals)
+	sv, _ := single.Finish()
+	sBlk := NewEquiDepthBlock(32, sv.Total())
+	NewScanner().Run(sv, sBlk)
+
+	pb, err := NewParallelBinner(4, DefaultBinnerConfig(), 0, 2999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.PushAll(vals)
+	mv, _, err := pb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBlk := NewEquiDepthBlock(32, mv.Total())
+	NewScanner().Run(mv, pBlk)
+
+	a, b := sBlk.Result(), pBlk.Result()
+	if len(a) != len(b) {
+		t.Fatalf("bucket counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("bucket %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewParallelBinnerValidation(t *testing.T) {
+	if _, err := NewParallelBinner(0, DefaultBinnerConfig(), 0, 10, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := NewParallelBinner(2, DefaultBinnerConfig(), 10, 0, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func mustRange(t *testing.T, min, max int64) *Preprocessor {
+	t.Helper()
+	pre, err := RangeFor(min, max, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pre
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/hw"
+)
+
+// fixedVec builds a vector with a known number of bins (Δ), all non-empty.
+func fixedVec(delta int) *bins.Vector {
+	counts := make([]int64, delta)
+	for i := range counts {
+		counts[i] = int64(i%7) + 1
+	}
+	return bins.FromCounts(0, 1, counts)
+}
+
+func timingOf(t *testing.T, res ChainResult, name string) ChainTiming {
+	t.Helper()
+	for _, tm := range res.Timings {
+		if tm.Name == name {
+			return tm
+		}
+	}
+	t.Fatalf("no timing for %q in %+v", name, res.Timings)
+	return ChainTiming{}
+}
+
+// TestTable2ResultLatencyFormulas asserts the exact cycle formulas of
+// Table 2 with each block first in the chain (no pass-through term):
+//
+//	TopK:       2Δ + 2T
+//	Equi-depth: 2Δ/B
+//	Max-diff:   (2Δ+2B) + 2Δ/B
+//	Compressed: (2Δ+2T) + 2Δ/B
+func TestTable2ResultLatencyFormulas(t *testing.T) {
+	const delta = 10000
+	const T = 64
+	const B = 64
+	vec := fixedVec(delta)
+
+	topk := NewTopKBlock(T)
+	res := NewScanner().Run(vec, topk)
+	if got, want := timingOf(t, res, topk.Name()).FirstResultCycles, int64(2*delta+2*T); got != want {
+		t.Errorf("TopK result latency = %d, want %d", got, want)
+	}
+
+	ed := NewEquiDepthBlock(B, vec.Total())
+	res = NewScanner().Run(vec, ed)
+	if got, want := timingOf(t, res, ed.Name()).FirstResultCycles, int64(2*delta/B); got != want {
+		t.Errorf("EquiDepth result latency = %d, want %d", got, want)
+	}
+	if got, want := timingOf(t, res, ed.Name()).CompletionCycles, int64(2*delta); got != want {
+		t.Errorf("EquiDepth completion = %d, want %d", got, want)
+	}
+
+	md := NewMaxDiffBlock(B)
+	res = NewScanner().Run(vec, md)
+	if got, want := timingOf(t, res, md.Name()).FirstResultCycles, int64(2*delta+2*B+2*delta/B); got != want {
+		t.Errorf("MaxDiff result latency = %d, want %d", got, want)
+	}
+
+	comp := NewCompressedBlock(T, B, vec.Total())
+	res = NewScanner().Run(vec, comp)
+	if got, want := timingOf(t, res, comp.Name()).FirstResultCycles, int64(2*delta+2*T+2*delta/B); got != want {
+		t.Errorf("Compressed result latency = %d, want %d", got, want)
+	}
+}
+
+func TestTable2ResultSizes(t *testing.T) {
+	// "each bucket needs 8 bytes": T*8, B*8, B*8, (T+B)*8.
+	vec := fixedVec(1000)
+	topk := NewTopKBlock(64)
+	ed := NewEquiDepthBlock(64, vec.Total())
+	md := NewMaxDiffBlock(64)
+	comp := NewCompressedBlock(64, 64, vec.Total())
+	res := NewScanner().Run(vec, topk, ed, md, comp)
+	wants := map[string]int64{
+		topk.Name(): 64 * 8,
+		ed.Name():   64 * 8,
+		md.Name():   64 * 8,
+		comp.Name(): (64 + 64) * 8,
+	}
+	for name, want := range wants {
+		if got := timingOf(t, res, name).ResultBytes; got != want {
+			t.Errorf("%s result size = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestTable2Scans(t *testing.T) {
+	vec := fixedVec(100)
+	cases := []struct {
+		blk  Block
+		want int
+	}{
+		{NewTopKBlock(8), 1},
+		{NewEquiDepthBlock(8, vec.Total()), 1},
+		{NewMaxDiffBlock(8), 2},
+		{NewCompressedBlock(4, 8, vec.Total()), 2},
+	}
+	for _, c := range cases {
+		if got := c.blk.Scans(); got != c.want {
+			t.Errorf("%s scans = %d, want %d", c.blk.Name(), got, c.want)
+		}
+	}
+	res := NewScanner().Run(vec, cases[0].blk, cases[2].blk)
+	if res.Scans != 2 {
+		t.Errorf("chain scans = %d, want 2 (max over blocks)", res.Scans)
+	}
+}
+
+func TestDaisyChainPassThroughLatency(t *testing.T) {
+	// §6.3: each block adds 2 cycles; the fourth block sees the first bin
+	// 6 cycles after the first (3 blocks ahead × 2 cycles).
+	vec := fixedVec(5000)
+	topk := NewTopKBlock(8)
+	ed := NewEquiDepthBlock(8, vec.Total())
+	md := NewMaxDiffBlock(8)
+	comp := NewCompressedBlock(4, 8, vec.Total())
+	res := NewScanner().Run(vec, topk, ed, md, comp)
+
+	soloComp := NewCompressedBlock(4, 8, vec.Total())
+	solo := NewScanner().Run(vec, soloComp)
+	chained := timingOf(t, res, comp.Name()).FirstResultCycles
+	alone := timingOf(t, solo, soloComp.Name()).FirstResultCycles
+	if chained-alone != 3*hw.DefaultBlockPassCycles {
+		t.Errorf("pass-through delta = %d cycles, want %d", chained-alone, 3*hw.DefaultBlockPassCycles)
+	}
+}
+
+func TestChainTimesAreNotAdditive(t *testing.T) {
+	// §6.3: "The times in the graph are not additive" — chaining all
+	// blocks costs (almost) the same as the slowest block alone.
+	vec := fixedVec(20000)
+	all := NewScanner().Run(vec,
+		NewTopKBlock(64),
+		NewEquiDepthBlock(64, vec.Total()),
+		NewMaxDiffBlock(64),
+		NewCompressedBlock(64, 64, vec.Total()))
+	soloMD := NewMaxDiffBlock(64)
+	solo := NewScanner().Run(vec, soloMD)
+	slowest := timingOf(t, solo, soloMD.Name()).CompletionCycles
+	if float64(all.TotalCycles) > float64(slowest)*1.01 {
+		t.Errorf("chained total %d far above slowest solo block %d", all.TotalCycles, slowest)
+	}
+}
+
+func TestChainLinearInDelta(t *testing.T) {
+	// Fig 22: creation time grows linearly with the bin count.
+	t1 := NewScanner().Run(fixedVec(10000), NewEquiDepthBlock(64, 1)).TotalCycles
+	t2 := NewScanner().Run(fixedVec(20000), NewEquiDepthBlock(64, 1)).TotalCycles
+	if t2 != 2*t1 {
+		t.Errorf("doubling Δ: %d -> %d, want exactly 2x", t1, t2)
+	}
+}
+
+func TestScannerSkipsEmptyBins(t *testing.T) {
+	counts := []int64{5, 0, 0, 3, 0, 2}
+	vec := bins.FromCounts(100, 1, counts)
+	blk := NewEquiDepthBlock(100, vec.Total()) // limit 1: bucket per bin
+	NewScanner().Run(vec, blk)
+	got := blk.Result()
+	if len(got) != 3 {
+		t.Fatalf("buckets = %d, want 3 (empty bins skipped)", len(got))
+	}
+	if got[0].Low != 100 || got[1].Low != 103 || got[2].Low != 105 {
+		t.Errorf("bucket lows wrong: %+v", got)
+	}
+	// But Δ counts all bins, empty included — scan cost covers the region.
+	res := NewScanner().Run(vec, NewEquiDepthBlock(4, vec.Total()))
+	if res.Delta != 6 {
+		t.Errorf("Delta = %d, want 6", res.Delta)
+	}
+}
+
+func TestResourceEstimates(t *testing.T) {
+	// Table 2's resource column: TopK 2.5% at T=64, equi-depth <1%,
+	// Max-diff and Compressed <3% at 64, with the listed max frequencies.
+	vecTotal := int64(100)
+	topk := Resources(NewTopKBlock(64))
+	if topk.UsagePct != 2.5 || topk.Scaling != "O(T)" || topk.MaxFreqMHz != 170 {
+		t.Errorf("TopK resources = %+v", topk)
+	}
+	ed := Resources(NewEquiDepthBlock(64, vecTotal))
+	if ed.UsagePct >= 1.0 || ed.Scaling != "O(1)" || ed.MaxFreqMHz != 240 {
+		t.Errorf("EquiDepth resources = %+v", ed)
+	}
+	md := Resources(NewMaxDiffBlock(64))
+	if md.UsagePct >= 3.0 || md.Scaling != "O(B)" || md.MaxFreqMHz != 170 {
+		t.Errorf("MaxDiff resources = %+v", md)
+	}
+	comp := Resources(NewCompressedBlock(64, 64, vecTotal))
+	if comp.UsagePct >= 3.0 || comp.Scaling != "O(T)" || comp.MaxFreqMHz != 170 {
+		t.Errorf("Compressed resources = %+v", comp)
+	}
+	// Usage scales linearly: T=128 doubles TopK usage.
+	if Resources(NewTopKBlock(128)).UsagePct != 5.0 {
+		t.Error("TopK usage not linear in T")
+	}
+}
+
+func TestChainSecondsAt150MHz(t *testing.T) {
+	// Sanity: 35 M bins through Max-diff ≈ 0.93 s at 150 MHz (the Fig 22
+	// right edge is in this regime).
+	s := &Scanner{ScanCyclesPerBin: hw.DefaultScanCyclesPerBin, BlockPassCycles: hw.DefaultBlockPassCycles}
+	res := s.account(35_000_000, 2, []Block{NewMaxDiffBlock(64)})
+	sec := res.Seconds(hw.NewClock(hw.DefaultClockHz))
+	if sec < 0.8 || sec > 1.1 {
+		t.Errorf("35M-bin MaxDiff = %.3fs, expected ≈0.93s", sec)
+	}
+}

@@ -1,0 +1,121 @@
+package dbms
+
+import (
+	"fmt"
+	"time"
+)
+
+// Access-path selection — the other optimizer decision the paper's
+// introduction says histograms influence ("how the data is accessed"):
+// a selective predicate should use an index, an unselective one should
+// scan, and a stale histogram picks wrongly in both directions.
+
+// AccessMethod enumerates the table access operators.
+type AccessMethod int
+
+const (
+	// SeqScan reads every row and filters.
+	SeqScan AccessMethod = iota
+	// IndexScan walks the sorted index range.
+	IndexScan
+)
+
+// String names the method.
+func (m AccessMethod) String() string {
+	if m == IndexScan {
+		return "IndexScan"
+	}
+	return "SeqScan"
+}
+
+// AccessPlan is the access decision for a single-column predicate.
+type AccessPlan struct {
+	Method AccessMethod
+	// EstRows is the optimizer's cardinality estimate for the predicate.
+	EstRows float64
+	// Selectivity is EstRows over the table's row count.
+	Selectivity float64
+}
+
+// AccessCosts parameterise the choice: an index scan touches EstRows
+// entries but pays per-entry random access; a sequential scan touches
+// everything at streaming cost. The classic crossover sits at a few
+// percent selectivity.
+type AccessCosts struct {
+	SeqRow     float64 // per-row cost of the sequential scan
+	IndexEntry float64 // per-matching-row cost through the index
+	IndexProbe float64 // fixed descent cost
+}
+
+// DefaultAccessCosts gives a ~4% selectivity crossover.
+func DefaultAccessCosts() AccessCosts {
+	return AccessCosts{SeqRow: 1, IndexEntry: 25, IndexProbe: 50}
+}
+
+// ChooseAccess picks the access method for "column < v" or "column = v" on
+// the table, using the catalog's histogram for the estimate. Without an
+// index the answer is always SeqScan.
+func ChooseAccess(db *Database, costs AccessCosts, tableName, column string, v int64, equality bool) AccessPlan {
+	t := db.Table(tableName)
+	rows := float64(t.Rel.NumRows())
+	var est float64
+	if equality {
+		est = db.Catalog.EstimateEquals(tableName, column, v)
+	} else {
+		est = db.Catalog.EstimateLess(tableName, column, v)
+	}
+	plan := AccessPlan{Method: SeqScan, EstRows: est}
+	if rows > 0 {
+		plan.Selectivity = est / rows
+	}
+	if t.Index(column) == nil {
+		return plan
+	}
+	seqCost := rows * costs.SeqRow
+	idxCost := costs.IndexProbe + est*costs.IndexEntry
+	if idxCost < seqCost {
+		plan.Method = IndexScan
+	}
+	return plan
+}
+
+// AccessResult reports a executed predicate scan.
+type AccessResult struct {
+	Plan     AccessPlan
+	Rows     int64
+	Duration time.Duration
+}
+
+// RunPredicate executes "column < v" (or "= v") with the chosen access
+// method, for real, and returns the matching row count.
+func RunPredicate(db *Database, tableName, column string, v int64, equality bool) (*AccessResult, error) {
+	t := db.Table(tableName)
+	plan := ChooseAccess(db, DefaultAccessCosts(), tableName, column, v, equality)
+	start := time.Now()
+	var rows int64
+	switch plan.Method {
+	case IndexScan:
+		ix := t.Index(column)
+		if ix == nil {
+			return nil, fmt.Errorf("dbms: planner chose an index scan without an index on %s.%s", tableName, column)
+		}
+		if equality {
+			rows = ix.CountEquals(v)
+		} else {
+			rows = ix.CountLess(v)
+		}
+	case SeqScan:
+		ci := t.Rel.Schema.ColumnIndex(column)
+		if ci < 0 {
+			return nil, fmt.Errorf("dbms: table %q has no column %q", tableName, column)
+		}
+		n := t.Rel.NumRows()
+		for r := 0; r < n; r++ {
+			val := t.Rel.Value(r, ci)
+			if (equality && val == v) || (!equality && val < v) {
+				rows++
+			}
+		}
+	}
+	return &AccessResult{Plan: plan, Rows: rows, Duration: time.Since(start)}, nil
+}

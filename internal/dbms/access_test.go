@@ -1,0 +1,121 @@
+package dbms
+
+import (
+	"testing"
+
+	"streamhist/internal/table"
+	"streamhist/internal/tpch"
+)
+
+func accessFixture(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase(DBx())
+	db.AddTable(tpch.Lineitem(60_000, 1, 111))
+	if _, err := db.GatherStats("lineitem", "l_extendedprice", 100, 112); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CreateIndex(db.Table("lineitem"), "l_extendedprice"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestChooseAccessSelectivityDriven(t *testing.T) {
+	db := accessFixture(t)
+	costs := DefaultAccessCosts()
+	// A selective equality predicate (a handful of rows) → index scan.
+	pi := db.Table("lineitem").Rel.Schema.ColumnIndex("l_extendedprice")
+	someVal := db.Table("lineitem").Rel.Value(0, pi)
+	sel := ChooseAccess(db, costs, "lineitem", "l_extendedprice", someVal, true)
+	if sel.Method != IndexScan {
+		t.Errorf("selective predicate chose %v (est %.1f rows)", sel.Method, sel.EstRows)
+	}
+	// An unselective range (everything below a huge value) → seq scan.
+	unsel := ChooseAccess(db, costs, "lineitem", "l_extendedprice", 1<<40, false)
+	if unsel.Method != SeqScan {
+		t.Errorf("unselective predicate chose %v (selectivity %.2f)", unsel.Method, unsel.Selectivity)
+	}
+	if unsel.Selectivity < 0.9 {
+		t.Errorf("full-range selectivity = %.2f", unsel.Selectivity)
+	}
+}
+
+func TestChooseAccessWithoutIndex(t *testing.T) {
+	db := NewDatabase(DBx())
+	db.AddTable(tpch.Lineitem(1_000, 1, 113))
+	plan := ChooseAccess(db, DefaultAccessCosts(), "lineitem", "l_quantity", 5, true)
+	if plan.Method != SeqScan {
+		t.Errorf("index-less table chose %v", plan.Method)
+	}
+}
+
+func TestRunPredicateBothPathsAgree(t *testing.T) {
+	db := accessFixture(t)
+	pi := db.Table("lineitem").Rel.Schema.ColumnIndex("l_extendedprice")
+	someVal := db.Table("lineitem").Rel.Value(7, pi)
+
+	idxRes, err := RunPredicate(db, "lineitem", "l_extendedprice", someVal, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxRes.Plan.Method != IndexScan {
+		t.Fatalf("expected index scan, got %v", idxRes.Plan.Method)
+	}
+	// Brute-force oracle.
+	var want int64
+	col := db.Table("lineitem").Rel.ColumnByName("l_extendedprice")
+	for _, v := range col {
+		if v == someVal {
+			want++
+		}
+	}
+	if idxRes.Rows != want {
+		t.Errorf("index scan found %d rows, want %d", idxRes.Rows, want)
+	}
+
+	// Range predicate goes through the seq path on an unselective bound
+	// and must agree with the index count.
+	seqRes, err := RunPredicate(db, "lineitem", "l_extendedprice", 1<<40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqRes.Plan.Method != SeqScan {
+		t.Fatalf("expected seq scan, got %v", seqRes.Plan.Method)
+	}
+	if seqRes.Rows != int64(len(col)) {
+		t.Errorf("seq scan found %d rows, want all %d", seqRes.Rows, len(col))
+	}
+}
+
+func TestStaleStatsFlipAccessPath(t *testing.T) {
+	// The intro's claim, executed: after a bulk update concentrates 30% of
+	// the table on one value, the stale histogram still says "rare" and
+	// keeps the index path; fresh statistics switch to the scan.
+	db := accessFixture(t)
+	const hot = 424242
+	db.MutateColumn("lineitem", func(rel *table.Relation) {
+		tpch.InflateValue(rel, "l_extendedprice", hot, 18_000, 114)
+	})
+	// Rebuild the index so both paths stay correct; the histogram stays stale.
+	if _, err := CreateIndex(db.Table("lineitem"), "l_extendedprice"); err != nil {
+		t.Fatal(err)
+	}
+	stale := ChooseAccess(db, DefaultAccessCosts(), "lineitem", "l_extendedprice", hot, true)
+	if stale.Method != IndexScan {
+		t.Fatalf("stale stats chose %v (est %.1f)", stale.Method, stale.EstRows)
+	}
+	if _, err := db.GatherStats("lineitem", "l_extendedprice", 100, 115); err != nil {
+		t.Fatal(err)
+	}
+	fresh := ChooseAccess(db, DefaultAccessCosts(), "lineitem", "l_extendedprice", hot, true)
+	if fresh.Method != SeqScan {
+		t.Errorf("fresh stats chose %v (est %.1f, selectivity %.2f)",
+			fresh.Method, fresh.EstRows, fresh.Selectivity)
+	}
+}
+
+func TestAccessMethodString(t *testing.T) {
+	if SeqScan.String() != "SeqScan" || IndexScan.String() != "IndexScan" {
+		t.Error("names wrong")
+	}
+}

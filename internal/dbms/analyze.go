@@ -1,0 +1,252 @@
+package dbms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+	"streamhist/internal/page"
+	"streamhist/internal/table"
+)
+
+// AnalyzeOptions parameterises one statistics-gathering run, mirroring the
+// knobs of DBMS_STATS.GATHER_TABLE_STATS mentioned in §2: the column, the
+// number of buckets, and the sampling rate.
+type AnalyzeOptions struct {
+	Column    string
+	SamplePct float64 // (0, 100]; 0 means 100
+	Buckets   int     // default 256 (the FPGA's setting in §6.2)
+	Kind      hist.Kind
+	TopK      int // frequent-value list length for Compressed; default 64
+	Seed      uint64
+}
+
+// AnalyzeStats records what the analyzer actually did, in units the cost
+// model understands.
+type AnalyzeStats struct {
+	RowsVisited int64
+	RowsSampled int64
+	PagesRead   int64
+	UsedHashAgg bool
+	UsedIndex   bool
+	// Measured is the real Go wall-clock of the run.
+	Measured time.Duration
+	// ModelSeconds is the calibrated commercial-DBMS duration for the same
+	// operation counts (see costmodel.go).
+	ModelSeconds float64
+}
+
+// AnalyzeResult is the outcome of an ANALYZE: the histogram (already scaled
+// to full-table cardinality) plus statistics about the run itself.
+type AnalyzeResult struct {
+	Histogram *hist.Histogram
+	NDistinct int64
+	Stats     AnalyzeStats
+}
+
+// Analyzer runs statistics gathering with a given engine personality.
+type Analyzer struct {
+	Personality Personality
+	Storage     StorageParams
+}
+
+// NewAnalyzer returns an analyzer for the personality with default storage.
+func NewAnalyzer(p Personality) *Analyzer {
+	return &Analyzer{Personality: p, Storage: DefaultStorage()}
+}
+
+func (o *AnalyzeOptions) normalise() {
+	if o.SamplePct <= 0 || o.SamplePct > 100 {
+		o.SamplePct = 100
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 256
+	}
+	if o.TopK <= 0 {
+		o.TopK = 64
+	}
+	// Equi-width "is seldom used in databases" (§3) and no analyzer
+	// gathers it, so the zero value means the common default instead.
+	if o.Kind == hist.EquiWidth {
+		o.Kind = hist.EquiDepth
+	}
+}
+
+// Analyze gathers statistics on one column of the table: sample (by row or
+// by page, per the personality), aggregate, bucket, and scale to the full
+// table. The work is genuinely performed on the in-memory relation.
+func (a *Analyzer) Analyze(t *Table, opts AnalyzeOptions) (*AnalyzeResult, error) {
+	opts.normalise()
+	colIdx := t.Rel.Schema.ColumnIndex(opts.Column)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("dbms: table %q has no column %q", t.Rel.Name, opts.Column)
+	}
+	start := time.Now()
+	rng := datagen.NewRNG(opts.Seed + 1)
+
+	nRows := t.Rel.NumRows()
+	var stats AnalyzeStats
+	sample := make([]int64, 0, int(float64(nRows)*opts.SamplePct/100)+16)
+
+	if a.Personality.PageSampling {
+		// Page-level sampling: pick whole pages, take every row on them.
+		rowsPerPage := (page.Size - page.HeaderSize) / t.Rel.Schema.RowWidth()
+		nPages := t.NumPages()
+		threshold := uint64(opts.SamplePct / 100 * float64(1<<32))
+		for p := 0; p < nPages; p++ {
+			if opts.SamplePct < 100 && uint64(rng.Uint64()&0xffffffff) >= threshold {
+				continue
+			}
+			stats.PagesRead++
+			lo := p * rowsPerPage
+			hi := lo + rowsPerPage
+			if hi > nRows {
+				hi = nRows
+			}
+			for r := lo; r < hi; r++ {
+				stats.RowsVisited++
+				sample = append(sample, t.Rel.Value(r, colIdx))
+			}
+		}
+	} else {
+		// Row-level sampling: every row is visited, a Bernoulli coin
+		// decides inclusion.
+		threshold := uint64(opts.SamplePct / 100 * float64(1<<32))
+		stats.PagesRead = int64(t.NumPages())
+		for r := 0; r < nRows; r++ {
+			stats.RowsVisited++
+			if opts.SamplePct < 100 && uint64(rng.Uint64()&0xffffffff) >= threshold {
+				continue
+			}
+			sample = append(sample, t.Rel.Value(r, colIdx))
+		}
+	}
+	stats.RowsSampled = int64(len(sample))
+
+	h, ndistinct, usedHash := a.buildFromSample(sample, opts)
+	stats.UsedHashAgg = usedHash
+
+	// Scale sampled counts to the full table.
+	if opts.SamplePct < 100 && h.Total > 0 {
+		h = h.Scale(float64(nRows) / float64(h.Total))
+	}
+	stats.Measured = time.Since(start)
+
+	col := t.Rel.Schema.Column(colIdx)
+	stats.ModelSeconds = EstimateAnalyzeSeconds(a.Personality, a.Storage, AnalyzeCostInput{
+		Rows:      float64(nRows),
+		RowWidth:  float64(t.Rel.Schema.RowWidth()),
+		SamplePct: opts.SamplePct,
+		NDistinct: float64(ndistinct),
+		Decimal:   col.Type == table.Decimal,
+		Medium:    t.Medium,
+	})
+
+	return &AnalyzeResult{Histogram: h, NDistinct: ndistinct, Stats: stats}, nil
+}
+
+// buildFromSample aggregates the sample and builds the histogram. Low
+// cardinality columns take the hash-aggregation fast path (no sort), which
+// is what makes them cheap to analyze in Fig 19.
+func (a *Analyzer) buildFromSample(sample []int64, opts AnalyzeOptions) (*hist.Histogram, int64, bool) {
+	if len(sample) == 0 {
+		return &hist.Histogram{Kind: opts.Kind}, 0, false
+	}
+	// Cheap cardinality probe on a slice of the sample decides the path.
+	probe := sample
+	if len(probe) > 4096 {
+		probe = probe[:4096]
+	}
+	probeSet := make(map[int64]struct{}, 1024)
+	for _, v := range probe {
+		probeSet[v] = struct{}{}
+	}
+	looksLowCard := a.Personality.HashAggCardinality > 0 &&
+		len(probeSet) <= a.Personality.HashAggCardinality/2
+
+	if looksLowCard {
+		counts := make(map[int64]int64, len(probeSet)*2)
+		for _, v := range sample {
+			counts[v]++
+		}
+		if len(counts) <= a.Personality.HashAggCardinality {
+			values := make([]int64, 0, len(counts))
+			for v := range counts {
+				values = append(values, v)
+			}
+			sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+			sorted := make([]int64, 0, len(sample))
+			for _, v := range values {
+				for c := int64(0); c < counts[v]; c++ {
+					sorted = append(sorted, v)
+				}
+			}
+			h := hist.BuildFromSorted(sorted, opts.Kind, opts.Buckets, opts.TopK)
+			return h, int64(len(counts)), true
+		}
+		// Mis-probe: fall through to the sort path with the sample intact.
+	}
+
+	sorted := make([]int64, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := hist.BuildFromSorted(sorted, opts.Kind, opts.Buckets, opts.TopK)
+	ndistinct := int64(0)
+	for i := range sorted {
+		if i == 0 || sorted[i] != sorted[i-1] {
+			ndistinct++
+		}
+	}
+	return h, ndistinct, false
+}
+
+// AnalyzeFromIndex gathers statistics by walking an existing sorted index
+// (the DBx capability of Fig 18): no base-table scan and no sort. Sampling
+// takes a stratified every-kth slice of the index, which keeps the sample
+// sorted.
+func (a *Analyzer) AnalyzeFromIndex(t *Table, idx *Index, opts AnalyzeOptions) (*AnalyzeResult, error) {
+	opts.normalise()
+	start := time.Now()
+	entries := idx.Sorted
+	var sample []int64
+	if opts.SamplePct >= 100 {
+		sample = entries
+	} else {
+		step := int(100 / opts.SamplePct)
+		if step < 1 {
+			step = 1
+		}
+		sample = make([]int64, 0, len(entries)/step+1)
+		for i := 0; i < len(entries); i += step {
+			sample = append(sample, entries[i])
+		}
+	}
+	h := hist.BuildFromSorted(sample, opts.Kind, opts.Buckets, opts.TopK)
+	ndistinct := int64(0)
+	for i := range sample {
+		if i == 0 || sample[i] != sample[i-1] {
+			ndistinct++
+		}
+	}
+	if opts.SamplePct < 100 && h.Total > 0 {
+		h = h.Scale(float64(len(entries)) / float64(h.Total))
+	}
+
+	stats := AnalyzeStats{
+		RowsVisited: int64(len(sample)),
+		RowsSampled: int64(len(sample)),
+		UsedIndex:   true,
+		Measured:    time.Since(start),
+		ModelSeconds: EstimateAnalyzeSeconds(a.Personality, a.Storage, AnalyzeCostInput{
+			Rows:      float64(len(entries)),
+			RowWidth:  float64(t.Rel.Schema.RowWidth()),
+			SamplePct: opts.SamplePct,
+			NDistinct: float64(ndistinct),
+			Medium:    t.Medium,
+			UseIndex:  true,
+		}),
+	}
+	return &AnalyzeResult{Histogram: h, NDistinct: ndistinct, Stats: stats}, nil
+}

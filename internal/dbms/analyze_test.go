@@ -1,0 +1,197 @@
+package dbms
+
+import (
+	"testing"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/hist"
+	"streamhist/internal/tpch"
+)
+
+func lineitemTable(rows int, seed uint64) *Table {
+	return NewTable(tpch.Lineitem(rows, 1, seed), InMemory)
+}
+
+func TestAnalyzeFullScanExact(t *testing.T) {
+	tbl := lineitemTable(20000, 1)
+	a := NewAnalyzer(DBx())
+	res, err := a.Analyze(tbl, AnalyzeOptions{Column: "l_quantity", SamplePct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Histogram.Total != 20000 {
+		t.Errorf("total = %d", res.Histogram.Total)
+	}
+	if res.NDistinct < 45 || res.NDistinct > 50 {
+		t.Errorf("ndistinct = %d, want ~50", res.NDistinct)
+	}
+	if res.Stats.RowsVisited != 20000 || res.Stats.RowsSampled != 20000 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	// Full-data histogram must match the reference construction exactly.
+	truth := bins.Build(tbl.Rel.ColumnByName("l_quantity"), 1)
+	want := hist.BuildEquiDepth(truth, 256)
+	if len(res.Histogram.Buckets) != len(want.Buckets) {
+		t.Fatalf("buckets %d != %d", len(res.Histogram.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		if res.Histogram.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d differs", i)
+		}
+	}
+}
+
+func TestAnalyzeRowSamplingCounts(t *testing.T) {
+	tbl := lineitemTable(40000, 2)
+	a := NewAnalyzer(DBx())
+	res, err := a.Analyze(tbl, AnalyzeOptions{Column: "l_quantity", SamplePct: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row sampling still visits every row.
+	if res.Stats.RowsVisited != 40000 {
+		t.Errorf("visited = %d", res.Stats.RowsVisited)
+	}
+	if res.Stats.RowsSampled < 3200 || res.Stats.RowsSampled > 4800 {
+		t.Errorf("sampled = %d, want ~4000", res.Stats.RowsSampled)
+	}
+	// Scaled total should approximate the table size.
+	if res.Histogram.Total < 30000 || res.Histogram.Total > 50000 {
+		t.Errorf("scaled total = %d", res.Histogram.Total)
+	}
+}
+
+func TestAnalyzePageSamplingVisitsFewerRows(t *testing.T) {
+	tbl := NewTable(tpch.Lineitem(40000, 1, 4), InMemory)
+	a := NewAnalyzer(DBy())
+	res, err := a.Analyze(tbl, AnalyzeOptions{Column: "l_quantity", SamplePct: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RowsVisited >= 40000/2 {
+		t.Errorf("page sampling visited %d rows, expected ~10%%", res.Stats.RowsVisited)
+	}
+	if res.Stats.PagesRead >= int64(tbl.NumPages())/2 {
+		t.Errorf("pages read = %d of %d", res.Stats.PagesRead, tbl.NumPages())
+	}
+}
+
+func TestAnalyzeHashAggFastPathForLowCardinality(t *testing.T) {
+	tbl := lineitemTable(20000, 6)
+	a := NewAnalyzer(DBx())
+	low, _ := a.Analyze(tbl, AnalyzeOptions{Column: "l_quantity"})
+	if !low.Stats.UsedHashAgg {
+		t.Error("low-cardinality column should use hash aggregation")
+	}
+	high, _ := a.Analyze(tbl, AnalyzeOptions{Column: "l_extendedprice"})
+	if high.Stats.UsedHashAgg {
+		t.Error("high-cardinality column should sort")
+	}
+}
+
+func TestAnalyzeUnknownColumn(t *testing.T) {
+	tbl := lineitemTable(100, 7)
+	a := NewAnalyzer(DBx())
+	if _, err := a.Analyze(tbl, AnalyzeOptions{Column: "nope"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestAnalyzeSamplingAccuracyOrdering(t *testing.T) {
+	// Full data beats 5% sample on estimation error, deterministic seeds.
+	rel := tpch.Synthetic(60000, 1, 2048, 0.9, 8)
+	tbl := NewTable(rel, InMemory)
+	truth := bins.Build(rel.Column(0), 1)
+	a := NewAnalyzer(DBx())
+	full, _ := a.Analyze(tbl, AnalyzeOptions{Column: "c0", SamplePct: 100, Buckets: 64})
+	five, _ := a.Analyze(tbl, AnalyzeOptions{Column: "c0", SamplePct: 5, Buckets: 64, Seed: 9})
+	if hist.PointError(full.Histogram, truth) > hist.PointError(five.Histogram, truth) {
+		t.Error("full-data histogram less accurate than 5% sample")
+	}
+}
+
+func TestAnalyzeFromIndex(t *testing.T) {
+	tbl := lineitemTable(30000, 10)
+	idx, err := CreateIndex(tbl, "l_extendedprice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(DBx())
+	res, err := a.AnalyzeFromIndex(tbl, idx, AnalyzeOptions{Column: "l_extendedprice", SamplePct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.UsedIndex {
+		t.Error("UsedIndex flag not set")
+	}
+	if res.Histogram.Total != 30000 {
+		t.Errorf("total = %d", res.Histogram.Total)
+	}
+	// The index path must produce the same full-data histogram as the
+	// base-table path (both sort-based equi-depth over all values).
+	base, _ := a.Analyze(tbl, AnalyzeOptions{Column: "l_extendedprice", SamplePct: 100})
+	if len(res.Histogram.Buckets) != len(base.Histogram.Buckets) {
+		t.Fatalf("index path buckets %d != base %d", len(res.Histogram.Buckets), len(base.Histogram.Buckets))
+	}
+	for i := range base.Histogram.Buckets {
+		if res.Histogram.Buckets[i] != base.Histogram.Buckets[i] {
+			t.Errorf("bucket %d differs between index and base path", i)
+		}
+	}
+}
+
+func TestAnalyzeFromIndexSampled(t *testing.T) {
+	tbl := lineitemTable(30000, 11)
+	idx, _ := CreateIndex(tbl, "l_quantity")
+	a := NewAnalyzer(DBx())
+	res, err := a.AnalyzeFromIndex(tbl, idx, AnalyzeOptions{Column: "l_quantity", SamplePct: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RowsSampled >= 3000 {
+		t.Errorf("sampled %d entries, want ~1500", res.Stats.RowsSampled)
+	}
+	if res.Histogram.Total < 25000 || res.Histogram.Total > 35000 {
+		t.Errorf("scaled total = %d", res.Histogram.Total)
+	}
+}
+
+func TestIndexCounts(t *testing.T) {
+	tbl := lineitemTable(5000, 12)
+	idx, _ := CreateIndex(tbl, "l_quantity")
+	col := tbl.Rel.ColumnByName("l_quantity")
+	var want int64
+	for _, v := range col {
+		if v == 25 {
+			want++
+		}
+	}
+	if got := idx.CountEquals(25); got != want {
+		t.Errorf("CountEquals(25) = %d, want %d", got, want)
+	}
+	var less int64
+	for _, v := range col {
+		if v < 25 {
+			less++
+		}
+	}
+	if got := idx.CountLess(25); got != less {
+		t.Errorf("CountLess(25) = %d, want %d", got, less)
+	}
+}
+
+func TestCreateIndexUnknownColumn(t *testing.T) {
+	tbl := lineitemTable(10, 13)
+	if _, err := CreateIndex(tbl, "nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if tbl.Index("l_quantity") != nil {
+		t.Error("index registered without creation")
+	}
+	if _, err := CreateIndex(tbl, "l_quantity"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Index("l_quantity") == nil {
+		t.Error("index not registered")
+	}
+}

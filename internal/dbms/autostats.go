@@ -1,0 +1,188 @@
+package dbms
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AutoStats models the automated statistics gathering of §3: Oracle, DB2
+// and SQL Server "all will decide based on the table contents and workloads
+// which tables need statistics ... and when to update the statistics", but
+// "they operate under a very strict time budget, meaning that statistics
+// and histograms cannot be refreshed as often as they should be".
+//
+// The policy mirrors the common design: a column becomes a refresh
+// candidate once the fraction of rows modified since its last ANALYZE
+// exceeds StalePercent; each maintenance window runs candidates in
+// most-stale-first order until the window's modelled time budget is spent.
+// The paper's punchline is the integration point: histograms installed by
+// the accelerator (InstallStats) reset staleness without consuming any
+// budget at all.
+
+// AutoStatsPolicy configures the automation.
+type AutoStatsPolicy struct {
+	// StalePercent is the modified-row fraction (0–100) that makes a
+	// column a refresh candidate (Oracle's default stale_percent is 10).
+	StalePercent float64
+	// WindowBudgetSeconds is the modelled time available per maintenance
+	// window.
+	WindowBudgetSeconds float64
+	// SamplePct is the sampling rate automated runs use.
+	SamplePct float64
+}
+
+// DefaultAutoStatsPolicy returns Oracle-ish defaults.
+func DefaultAutoStatsPolicy() AutoStatsPolicy {
+	return AutoStatsPolicy{StalePercent: 10, WindowBudgetSeconds: 60, SamplePct: 5}
+}
+
+// trackedColumn is one column under automated maintenance.
+type trackedColumn struct {
+	table, column string
+	// modifiedSinceAnalyze counts rows changed since the last refresh.
+	modifiedSinceAnalyze int64
+}
+
+// AutoStats drives the policy over a database.
+type AutoStats struct {
+	db     *Database
+	policy AutoStatsPolicy
+	cols   []*trackedColumn
+	seed   uint64
+}
+
+// NewAutoStats wraps a database.
+func NewAutoStats(db *Database, policy AutoStatsPolicy) *AutoStats {
+	if policy.StalePercent <= 0 {
+		policy.StalePercent = 10
+	}
+	if policy.SamplePct <= 0 {
+		policy.SamplePct = 5
+	}
+	return &AutoStats{db: db, policy: policy}
+}
+
+// Track registers a column for automated maintenance.
+func (a *AutoStats) Track(table, column string) {
+	a.cols = append(a.cols, &trackedColumn{table: table, column: column})
+}
+
+// RecordModifications notes that n rows of the table changed (what the
+// engine's DML monitoring would count). It also bumps the catalog version
+// so the stats are flagged stale.
+func (a *AutoStats) RecordModifications(table string, n int64) {
+	a.db.Catalog.BumpVersion(table)
+	for _, c := range a.cols {
+		if c.table == table {
+			c.modifiedSinceAnalyze += n
+		}
+	}
+}
+
+// NotifyScanHistogram is the accelerator integration point: a table scan
+// just produced a fresh histogram for free, so the column's staleness
+// resets without touching the maintenance budget.
+func (a *AutoStats) NotifyScanHistogram(table, column string) {
+	for _, c := range a.cols {
+		if c.table == table && c.column == column {
+			c.modifiedSinceAnalyze = 0
+		}
+	}
+}
+
+// NextColumnForScan picks which tracked column of the table the
+// accelerator should be pointed at for an upcoming scan (the host's
+// metadata packet of §4 selects one column per pass): the most-stale one,
+// ties broken by registration order. ok is false when the table has no
+// tracked columns.
+func (a *AutoStats) NextColumnForScan(table string) (column string, ok bool) {
+	var best *trackedColumn
+	for _, c := range a.cols {
+		if c.table != table {
+			continue
+		}
+		if best == nil || c.modifiedSinceAnalyze > best.modifiedSinceAnalyze {
+			best = c
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.column, true
+}
+
+// StaleFraction returns the modified-row fraction (0–100) of a tracked
+// column, or -1 when untracked.
+func (a *AutoStats) StaleFraction(table, column string) float64 {
+	for _, c := range a.cols {
+		if c.table == table && c.column == column {
+			rows := a.db.Table(table).Rel.NumRows()
+			if rows == 0 {
+				return 0
+			}
+			return 100 * float64(c.modifiedSinceAnalyze) / float64(rows)
+		}
+	}
+	return -1
+}
+
+// WindowAction records one decision of a maintenance window.
+type WindowAction struct {
+	Table, Column string
+	StalePct      float64
+	Analyzed      bool
+	// ModelSeconds is the modelled cost of the refresh (0 when skipped).
+	ModelSeconds float64
+	// Reason explains skips ("budget exhausted") and runs ("stale").
+	Reason string
+}
+
+// WindowReport summarises one maintenance window.
+type WindowReport struct {
+	Actions []WindowAction
+	// SpentSeconds is the modelled time consumed, bounded by the budget.
+	SpentSeconds float64
+	// Deferred counts stale columns the budget could not cover — the
+	// freshness debt the paper's accelerator eliminates.
+	Deferred int
+}
+
+// RunMaintenanceWindow refreshes stale columns most-stale-first until the
+// budget runs out. Refreshes genuinely execute (sampled ANALYZE) and their
+// modelled cost is charged against the budget.
+func (a *AutoStats) RunMaintenanceWindow() (*WindowReport, error) {
+	candidates := make([]*trackedColumn, 0, len(a.cols))
+	for _, c := range a.cols {
+		if a.StaleFraction(c.table, c.column) >= a.policy.StalePercent {
+			candidates = append(candidates, c)
+		}
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return a.StaleFraction(candidates[i].table, candidates[i].column) >
+			a.StaleFraction(candidates[j].table, candidates[j].column)
+	})
+
+	rep := &WindowReport{}
+	for _, c := range candidates {
+		stale := a.StaleFraction(c.table, c.column)
+		act := WindowAction{Table: c.table, Column: c.column, StalePct: stale}
+		if a.policy.WindowBudgetSeconds > 0 && rep.SpentSeconds >= a.policy.WindowBudgetSeconds {
+			act.Reason = "budget exhausted"
+			rep.Deferred++
+			rep.Actions = append(rep.Actions, act)
+			continue
+		}
+		a.seed++
+		res, err := a.db.GatherStats(c.table, c.column, a.policy.SamplePct, a.seed)
+		if err != nil {
+			return nil, fmt.Errorf("dbms: autostats on %s.%s: %w", c.table, c.column, err)
+		}
+		c.modifiedSinceAnalyze = 0
+		act.Analyzed = true
+		act.ModelSeconds = res.Stats.ModelSeconds
+		act.Reason = "stale"
+		rep.SpentSeconds += res.Stats.ModelSeconds
+		rep.Actions = append(rep.Actions, act)
+	}
+	return rep, nil
+}

@@ -1,0 +1,174 @@
+package dbms
+
+import (
+	"testing"
+
+	"streamhist/internal/table"
+	"streamhist/internal/tpch"
+)
+
+func autoFixture(t *testing.T) (*Database, *AutoStats) {
+	t.Helper()
+	db := NewDatabase(DBx())
+	db.AddTable(tpch.Lineitem(50_000, 1, 81))
+	db.AddTable(tpch.Customer(10_000, 82))
+	for _, col := range []string{"l_quantity", "l_extendedprice"} {
+		if _, err := db.GatherStats("lineitem", col, 100, 83); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.GatherStats("customer", "c_acctbal", 100, 84); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAutoStats(db, DefaultAutoStatsPolicy())
+	a.Track("lineitem", "l_quantity")
+	a.Track("lineitem", "l_extendedprice")
+	a.Track("customer", "c_acctbal")
+	return db, a
+}
+
+func TestAutoStatsStaleTracking(t *testing.T) {
+	db, a := autoFixture(t)
+	if f := a.StaleFraction("lineitem", "l_quantity"); f != 0 {
+		t.Errorf("fresh column stale fraction = %v", f)
+	}
+	if f := a.StaleFraction("nope", "x"); f != -1 {
+		t.Errorf("untracked column fraction = %v", f)
+	}
+	db.MutateColumn("lineitem", func(rel *table.Relation) {
+		tpch.InflateValue(rel, "l_extendedprice", 200100, 10_000, 85)
+	})
+	a.RecordModifications("lineitem", 10_000)
+	if f := a.StaleFraction("lineitem", "l_extendedprice"); f != 20 {
+		t.Errorf("stale fraction = %v, want 20", f)
+	}
+	// Modification monitoring is per table: both lineitem columns stale,
+	// customer untouched.
+	if f := a.StaleFraction("customer", "c_acctbal"); f != 0 {
+		t.Errorf("customer stale fraction = %v", f)
+	}
+}
+
+func TestAutoStatsWindowRefreshesStaleOnly(t *testing.T) {
+	_, a := autoFixture(t)
+	a.RecordModifications("lineitem", 10_000) // 20% > threshold
+	rep, err := a.RunMaintenanceWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed := 0
+	for _, act := range rep.Actions {
+		if act.Analyzed {
+			analyzed++
+			if act.Table != "lineitem" {
+				t.Errorf("analyzed %s.%s, which was not stale", act.Table, act.Column)
+			}
+		}
+	}
+	if analyzed != 2 {
+		t.Errorf("analyzed %d columns, want the 2 lineitem ones", analyzed)
+	}
+	// Second window: nothing stale anymore.
+	rep2, err := a.RunMaintenanceWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Actions) != 0 {
+		t.Errorf("second window acted on %d columns", len(rep2.Actions))
+	}
+}
+
+func TestAutoStatsBelowThresholdIgnored(t *testing.T) {
+	_, a := autoFixture(t)
+	a.RecordModifications("lineitem", 2_000) // 4% < 10%
+	rep, err := a.RunMaintenanceWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Actions) != 0 {
+		t.Errorf("window acted on sub-threshold columns: %+v", rep.Actions)
+	}
+}
+
+func TestAutoStatsBudgetDefersWork(t *testing.T) {
+	db, a := autoFixture(t)
+	// A budget so small only one refresh fits.
+	a.policy.WindowBudgetSeconds = 1e-9
+	a.RecordModifications("lineitem", 20_000)
+	a.RecordModifications("customer", 5_000)
+	rep, err := a.RunMaintenanceWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed, deferred := 0, 0
+	for _, act := range rep.Actions {
+		if act.Analyzed {
+			analyzed++
+		} else {
+			deferred++
+			if act.Reason != "budget exhausted" {
+				t.Errorf("skip reason = %q", act.Reason)
+			}
+		}
+	}
+	if analyzed != 1 {
+		t.Errorf("analyzed %d, want 1 (budget allows the first only)", analyzed)
+	}
+	if deferred != rep.Deferred || deferred == 0 {
+		t.Errorf("deferred = %d (report says %d)", deferred, rep.Deferred)
+	}
+	// Most-stale-first: lineitem (40%) before customer (50%)... compute:
+	// lineitem 20k/50k = 40%, customer 5k/10k = 50% -> customer first.
+	if rep.Actions[0].Table != "customer" {
+		t.Errorf("first action on %s, want most-stale customer", rep.Actions[0].Table)
+	}
+	_ = db
+}
+
+func TestNextColumnForScanRotates(t *testing.T) {
+	_, a := autoFixture(t)
+	a.RecordModifications("lineitem", 10_000)
+	col, ok := a.NextColumnForScan("lineitem")
+	if !ok || col != "l_quantity" {
+		t.Fatalf("first pick = %q, %v (want first-registered on tie)", col, ok)
+	}
+	// The scan refreshed that column; the next scan targets the other one.
+	a.NotifyScanHistogram("lineitem", col)
+	col2, ok := a.NextColumnForScan("lineitem")
+	if !ok || col2 != "l_extendedprice" {
+		t.Fatalf("second pick = %q, %v", col2, ok)
+	}
+	if _, ok := a.NextColumnForScan("unknown"); ok {
+		t.Error("unknown table produced a column")
+	}
+}
+
+func TestAutoStatsAcceleratorResetsStalenessForFree(t *testing.T) {
+	db, a := autoFixture(t)
+	a.RecordModifications("lineitem", 25_000)
+	// A table scan happens; the accelerator hands the catalog a fresh
+	// histogram and the automation is notified — no budget consumed.
+	res, err := db.Analyzer.Analyze(db.Table("lineitem"), AnalyzeOptions{Column: "l_extendedprice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.InstallStats("lineitem", "l_extendedprice", res.Histogram, res.NDistinct)
+	a.NotifyScanHistogram("lineitem", "l_extendedprice")
+
+	if f := a.StaleFraction("lineitem", "l_extendedprice"); f != 0 {
+		t.Errorf("stale fraction after scan histogram = %v", f)
+	}
+	// The other column is still stale and needs the window.
+	if f := a.StaleFraction("lineitem", "l_quantity"); f != 50 {
+		t.Errorf("l_quantity stale fraction = %v, want 50", f)
+	}
+	rep, err := a.RunMaintenanceWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range rep.Actions {
+		if act.Column == "l_extendedprice" {
+			t.Error("window re-analyzed the column the accelerator already refreshed")
+		}
+	}
+}

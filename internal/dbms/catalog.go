@@ -1,0 +1,127 @@
+package dbms
+
+import (
+	"fmt"
+	"sync"
+
+	"streamhist/internal/hist"
+)
+
+// ColumnStats is one catalog entry: the optimizer-visible statistics of a
+// column at the time they were last gathered.
+type ColumnStats struct {
+	Histogram *hist.Histogram
+	NDistinct int64
+	// RowCount is the table cardinality when the stats were gathered.
+	RowCount int64
+	// Version is the table's modification counter at gather time; when it
+	// trails the table's current version the stats are stale.
+	Version uint64
+}
+
+// Catalog is the statistics dictionary. The paper's motivating problem is
+// that entries here go stale: "statistics gathering needs to be explicitly
+// triggered in databases", so after a bulk update the planner keeps working
+// from outdated histograms until someone re-runs ANALYZE.
+type Catalog struct {
+	mu       sync.RWMutex
+	stats    map[string]map[string]*ColumnStats
+	versions map[string]uint64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		stats:    make(map[string]map[string]*ColumnStats),
+		versions: make(map[string]uint64),
+	}
+}
+
+// BumpVersion records a modification of the table (insert/update), making
+// existing statistics stale.
+func (c *Catalog) BumpVersion(tableName string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions[tableName]++
+}
+
+// Version returns the table's modification counter.
+func (c *Catalog) Version(tableName string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[tableName]
+}
+
+// Put installs fresh statistics for a column.
+func (c *Catalog) Put(tableName, column string, s *ColumnStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cols, ok := c.stats[tableName]
+	if !ok {
+		cols = make(map[string]*ColumnStats)
+		c.stats[tableName] = cols
+	}
+	s.Version = c.versions[tableName]
+	cols[column] = s
+}
+
+// Get returns the statistics for a column, or nil when none were gathered.
+func (c *Catalog) Get(tableName, column string) *ColumnStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cols, ok := c.stats[tableName]
+	if !ok {
+		return nil
+	}
+	return cols[column]
+}
+
+// Stale reports whether the column's statistics trail the table's current
+// version (or are missing entirely).
+func (c *Catalog) Stale(tableName, column string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cols, ok := c.stats[tableName]
+	if !ok {
+		return true
+	}
+	s, ok := cols[column]
+	if !ok {
+		return true
+	}
+	return s.Version < c.versions[tableName]
+}
+
+// EstimateEquals estimates the rows of tableName with column == v, falling
+// back to a default guess when no statistics exist (commercial engines
+// default to small constants, which is what produces the bad plans of §2).
+func (c *Catalog) EstimateEquals(tableName, column string, v int64) float64 {
+	s := c.Get(tableName, column)
+	if s == nil || s.Histogram == nil {
+		return 1
+	}
+	return s.Histogram.EstimateEquals(v)
+}
+
+// EstimateLess estimates rows with column < v.
+func (c *Catalog) EstimateLess(tableName, column string, v int64) float64 {
+	s := c.Get(tableName, column)
+	if s == nil || s.Histogram == nil {
+		return 1
+	}
+	return s.Histogram.EstimateLess(v)
+}
+
+// Describe renders a short summary of a column's catalog entry.
+func (c *Catalog) Describe(tableName, column string) string {
+	s := c.Get(tableName, column)
+	if s == nil {
+		return fmt.Sprintf("%s.%s: no statistics", tableName, column)
+	}
+	fresh := "fresh"
+	if c.Stale(tableName, column) {
+		fresh = "STALE"
+	}
+	return fmt.Sprintf("%s.%s: %v rows=%d ndistinct=%d (%s)",
+		tableName, column, s.Histogram, s.RowCount, s.NDistinct, fresh)
+}

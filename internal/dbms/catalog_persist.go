@@ -1,0 +1,169 @@
+package dbms
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"streamhist/internal/hist"
+)
+
+// Catalog persistence: statistics survive restarts in real engines, so the
+// catalog serialises to a compact binary image (histograms use
+// hist.Histogram's own binary format). The layout is:
+//
+//	magic uint32 = 0x53544154 ("STAT")
+//	entry count uint32
+//	per entry:
+//	  table name   (uint16 length + bytes)
+//	  column name  (uint16 length + bytes)
+//	  ndistinct, rowcount, version  int64/int64/uint64
+//	  histogram    (uint32 length + hist binary)
+//
+// Entries are written in sorted (table, column) order so the encoding is
+// deterministic.
+
+const catalogMagic uint32 = 0x53544154
+
+// ErrCorruptCatalog reports an undecodable catalog image.
+var ErrCorruptCatalog = errors.New("dbms: corrupt catalog image")
+
+// MarshalBinary implements encoding.BinaryMarshaler for the catalog.
+func (c *Catalog) MarshalBinary() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	type flat struct {
+		table, column string
+		stats         *ColumnStats
+	}
+	var entries []flat
+	for tbl, cols := range c.stats {
+		for col, s := range cols {
+			entries = append(entries, flat{tbl, col, s})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].table != entries[j].table {
+			return entries[i].table < entries[j].table
+		}
+		return entries[i].column < entries[j].column
+	})
+
+	var buf bytes.Buffer
+	write := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			panic(err) // bytes.Buffer cannot fail
+		}
+	}
+	writeStr := func(s string) {
+		write(uint16(len(s)))
+		buf.WriteString(s)
+	}
+	write(catalogMagic)
+	write(uint32(len(entries)))
+	for _, e := range entries {
+		writeStr(e.table)
+		writeStr(e.column)
+		write(e.stats.NDistinct)
+		write(e.stats.RowCount)
+		write(e.stats.Version)
+		var hbytes []byte
+		if e.stats.Histogram != nil {
+			var err error
+			hbytes, err = e.stats.Histogram.MarshalBinary()
+			if err != nil {
+				return nil, fmt.Errorf("dbms: catalog entry %s.%s: %w", e.table, e.column, err)
+			}
+		}
+		write(uint32(len(hbytes)))
+		buf.Write(hbytes)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the decoded
+// entries replace the catalog's statistics (table versions are restored
+// from the entries' recorded versions).
+func (c *Catalog) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	readStr := func() (string, error) {
+		var n uint16
+		if err := read(&n); err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	var magic uint32
+	if err := read(&magic); err != nil || magic != catalogMagic {
+		return fmt.Errorf("%w: bad header", ErrCorruptCatalog)
+	}
+	var count uint32
+	if err := read(&count); err != nil {
+		return fmt.Errorf("%w: missing entry count", ErrCorruptCatalog)
+	}
+
+	stats := make(map[string]map[string]*ColumnStats)
+	versions := make(map[string]uint64)
+	for i := uint32(0); i < count; i++ {
+		tbl, err := readStr()
+		if err != nil {
+			return fmt.Errorf("%w: entry %d table name", ErrCorruptCatalog, i)
+		}
+		col, err := readStr()
+		if err != nil {
+			return fmt.Errorf("%w: entry %d column name", ErrCorruptCatalog, i)
+		}
+		s := &ColumnStats{}
+		if err := read(&s.NDistinct); err != nil {
+			return fmt.Errorf("%w: entry %d", ErrCorruptCatalog, i)
+		}
+		if err := read(&s.RowCount); err != nil {
+			return fmt.Errorf("%w: entry %d", ErrCorruptCatalog, i)
+		}
+		if err := read(&s.Version); err != nil {
+			return fmt.Errorf("%w: entry %d", ErrCorruptCatalog, i)
+		}
+		var hlen uint32
+		if err := read(&hlen); err != nil {
+			return fmt.Errorf("%w: entry %d histogram length", ErrCorruptCatalog, i)
+		}
+		if hlen > 0 {
+			if int(hlen) > r.Len() {
+				return fmt.Errorf("%w: entry %d histogram truncated", ErrCorruptCatalog, i)
+			}
+			hbytes := make([]byte, hlen)
+			if _, err := r.Read(hbytes); err != nil {
+				return fmt.Errorf("%w: entry %d histogram", ErrCorruptCatalog, i)
+			}
+			s.Histogram = &hist.Histogram{}
+			if err := s.Histogram.UnmarshalBinary(hbytes); err != nil {
+				return fmt.Errorf("dbms: entry %d: %w", i, err)
+			}
+		}
+		if stats[tbl] == nil {
+			stats[tbl] = make(map[string]*ColumnStats)
+		}
+		stats[tbl][col] = s
+		if s.Version > versions[tbl] {
+			versions[tbl] = s.Version
+		}
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptCatalog, r.Len())
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = stats
+	c.versions = versions
+	return nil
+}

@@ -1,0 +1,115 @@
+package dbms
+
+import (
+	"testing"
+
+	"streamhist/internal/tpch"
+)
+
+func persistedCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	db := NewDatabase(DBx())
+	db.AddTable(tpch.Lineitem(10_000, 1, 101))
+	db.AddTable(tpch.Customer(2_000, 102))
+	for _, tc := range []struct{ tbl, col string }{
+		{"lineitem", "l_quantity"},
+		{"lineitem", "l_extendedprice"},
+		{"customer", "c_acctbal"},
+	} {
+		if _, err := db.GatherStats(tc.tbl, tc.col, 100, 103); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db.Catalog
+}
+
+func TestCatalogPersistenceRoundTrip(t *testing.T) {
+	cat := persistedCatalog(t)
+	data, err := cat.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewCatalog()
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ tbl, col string }{
+		{"lineitem", "l_quantity"},
+		{"lineitem", "l_extendedprice"},
+		{"customer", "c_acctbal"},
+	} {
+		orig := cat.Get(tc.tbl, tc.col)
+		back := restored.Get(tc.tbl, tc.col)
+		if back == nil {
+			t.Fatalf("%s.%s missing after restore", tc.tbl, tc.col)
+		}
+		if back.NDistinct != orig.NDistinct || back.RowCount != orig.RowCount || back.Version != orig.Version {
+			t.Errorf("%s.%s: metadata differs", tc.tbl, tc.col)
+		}
+		// Estimates identical.
+		for _, v := range []int64{1, 25, 50, 200100} {
+			if back.Histogram.EstimateEquals(v) != orig.Histogram.EstimateEquals(v) {
+				t.Errorf("%s.%s: estimate differs at %d", tc.tbl, tc.col, v)
+			}
+		}
+	}
+	// Staleness semantics preserved: versions were restored, so nothing
+	// is stale.
+	if restored.Stale("lineitem", "l_quantity") {
+		t.Error("restored stats stale")
+	}
+}
+
+func TestCatalogPersistenceDeterministic(t *testing.T) {
+	cat := persistedCatalog(t)
+	a, err := cat.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cat.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at byte %d", i)
+		}
+	}
+}
+
+func TestCatalogUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {1, 2, 3}, make([]byte, 16)}
+	for i, data := range cases {
+		c := NewCatalog()
+		if err := c.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good, _ := persistedCatalog(t).MarshalBinary()
+	c := NewCatalog()
+	if err := c.UnmarshalBinary(good[:len(good)-3]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	if err := c.UnmarshalBinary(append(good, 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCatalogPersistEmpty(t *testing.T) {
+	empty := NewCatalog()
+	data, err := empty.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog()
+	if err := c.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get("x", "y") != nil {
+		t.Error("phantom entry")
+	}
+}

@@ -1,0 +1,172 @@
+package dbms
+
+import (
+	"testing"
+)
+
+func baseInput(rows float64, pct float64) AnalyzeCostInput {
+	return AnalyzeCostInput{
+		Rows:      rows,
+		RowWidth:  64,
+		SamplePct: pct,
+		NDistinct: 1_000_000,
+		Medium:    InMemory,
+	}
+}
+
+func TestDBxSamplingReducesTime(t *testing.T) {
+	st := DefaultStorage()
+	p := DBx()
+	full := EstimateAnalyzeSeconds(p, st, baseInput(60e6, 100))
+	five := EstimateAnalyzeSeconds(p, st, baseInput(60e6, 5))
+	if five >= full {
+		t.Errorf("5%% (%.1fs) not cheaper than 100%% (%.1fs)", five, full)
+	}
+	if full/five < 3 {
+		t.Errorf("DBx sampling speedup only %.1fx, expected substantial", full/five)
+	}
+}
+
+func TestDBySamplingSaturates(t *testing.T) {
+	// Fig 16's observation: DBy's runtime does not decrease proportionally
+	// with the sampling rate (the full prescan dominates).
+	st := DefaultStorage()
+	p := DBy()
+	full := EstimateAnalyzeSeconds(p, st, baseInput(450e6, 100))
+	five := EstimateAnalyzeSeconds(p, st, baseInput(450e6, 5))
+	if five >= full {
+		t.Errorf("5%% not cheaper at all: %.1f vs %.1f", five, full)
+	}
+	if full/five > 6 {
+		t.Errorf("DBy speedup %.1fx too proportional; prescan should dominate", full/five)
+	}
+}
+
+func TestDiskSlowerThanMemory(t *testing.T) {
+	st := DefaultStorage()
+	p := DBx()
+	in := baseInput(60e6, 100)
+	mem := EstimateAnalyzeSeconds(p, st, in)
+	in.Medium = OnDisk
+	disk := EstimateAnalyzeSeconds(p, st, in)
+	if disk <= mem {
+		t.Errorf("disk (%.1fs) not slower than memory (%.1fs)", disk, mem)
+	}
+}
+
+func TestDecimalColumnsCostMore(t *testing.T) {
+	st := DefaultStorage()
+	p := DBx()
+	in := baseInput(60e6, 100)
+	plain := EstimateAnalyzeSeconds(p, st, in)
+	in.Decimal = true
+	dec := EstimateAnalyzeSeconds(p, st, in)
+	if dec <= plain {
+		t.Errorf("decimal (%.1fs) not more expensive than integer (%.1fs)", dec, plain)
+	}
+}
+
+func TestLowCardinalityCheaper(t *testing.T) {
+	// Fig 19: l_quantity (cardinality < 100) is cheaper to analyze than
+	// l_extendedprice / l_orderkey.
+	st := DefaultStorage()
+	p := DBx()
+	lo := baseInput(60e6, 100)
+	lo.NDistinct = 50
+	hi := baseInput(60e6, 100)
+	hi.NDistinct = 1_000_000
+	tLo := EstimateAnalyzeSeconds(p, st, lo)
+	tHi := EstimateAnalyzeSeconds(p, st, hi)
+	if tLo >= tHi {
+		t.Errorf("low cardinality (%.1fs) not cheaper than high (%.1fs)", tLo, tHi)
+	}
+}
+
+func TestIndexAnalyzeCheaperAndWidthIndependent(t *testing.T) {
+	// Fig 18: index analysis is fast and independent of base-row width.
+	st := DefaultStorage()
+	p := DBx()
+	base := baseInput(60e6, 100)
+	tBase := EstimateAnalyzeSeconds(p, st, base)
+
+	idx := base
+	idx.UseIndex = true
+	tIdx := EstimateAnalyzeSeconds(p, st, idx)
+	if tIdx >= tBase {
+		t.Errorf("index path (%.1fs) not cheaper than sort path (%.1fs)", tIdx, tBase)
+	}
+
+	wide := idx
+	wide.RowWidth = 512
+	if EstimateAnalyzeSeconds(p, st, wide) != tIdx {
+		t.Error("index analyze time depends on base-row width")
+	}
+
+	// With 5% sampling on the index DBx catches up dramatically (the
+	// "so fast that it catches up with the FPGA" regime).
+	idx5 := idx
+	idx5.SamplePct = 5
+	if tIdx/EstimateAnalyzeSeconds(p, st, idx5) < 4 {
+		t.Error("sampled index analyze should be much faster than full")
+	}
+}
+
+func TestNarrowTableCheaperToScan(t *testing.T) {
+	// Fig 17: reducing the column count (row width) reduces analyze time.
+	st := DefaultStorage()
+	p := DBy() // scan-bound personality shows it most clearly
+	wide := baseInput(60e6, 100)
+	wide.RowWidth = 64
+	narrow := baseInput(60e6, 100)
+	narrow.RowWidth = 8
+	if EstimateAnalyzeSeconds(p, st, narrow) >= EstimateAnalyzeSeconds(p, st, wide) {
+		t.Error("narrow rows not cheaper than wide rows")
+	}
+}
+
+func TestAnalyzeCostMonotoneInRows(t *testing.T) {
+	st := DefaultStorage()
+	for _, p := range []Personality{DBx(), DBy(), Postgres()} {
+		prev := 0.0
+		for _, rows := range []float64{30e6, 60e6, 150e6, 300e6, 450e6} {
+			sec := EstimateAnalyzeSeconds(p, st, baseInput(rows, 100))
+			if sec <= prev {
+				t.Errorf("%s: cost not increasing at %g rows", p.Name, rows)
+			}
+			prev = sec
+		}
+	}
+}
+
+func TestTableScanCheaperThanAnalyze(t *testing.T) {
+	// Fig 2's punchline: even a 5% ANALYZE costs more than a full scan.
+	st := DefaultStorage()
+	p := DBx()
+	scan := EstimateTableScanSeconds(p, st, 60e6, 64, InMemory)
+	analyze5 := EstimateAnalyzeSeconds(p, st, baseInput(60e6, 5))
+	if analyze5 <= scan {
+		t.Errorf("5%% analyze (%.1fs) not above full scan (%.1fs)", analyze5, scan)
+	}
+}
+
+func TestZeroPctTreatedAsFull(t *testing.T) {
+	st := DefaultStorage()
+	p := DBx()
+	if EstimateAnalyzeSeconds(p, st, baseInput(1e6, 0)) != EstimateAnalyzeSeconds(p, st, baseInput(1e6, 100)) {
+		t.Error("pct 0 should mean 100")
+	}
+}
+
+func TestScanSeconds(t *testing.T) {
+	st := DefaultStorage()
+	if st.ScanSeconds(InMemory, 2.4e9) != 1 {
+		t.Error("memory scan arithmetic wrong")
+	}
+	d := st.ScanSeconds(OnDisk, 120e6)
+	if d <= 1 || d > 1.1 {
+		t.Errorf("disk scan = %v, want just over 1s", d)
+	}
+	if InMemory.String() != "memory" || OnDisk.String() != "disk" {
+		t.Error("medium names wrong")
+	}
+}

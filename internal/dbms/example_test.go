@@ -1,0 +1,35 @@
+package dbms_test
+
+import (
+	"fmt"
+
+	"streamhist/internal/dbms"
+)
+
+// ExampleChooseJoin shows how cardinality estimates steer the plan — the
+// mechanism behind the paper's Figure 1.
+func ExampleChooseJoin() {
+	costs := dbms.DefaultPlannerCosts()
+
+	// The optimizer believes somelines is tiny: nested loops look fine.
+	small := dbms.ChooseJoin(costs, 5, 20000, false)
+	fmt.Println("est. 5 outer rows →", small.Method)
+
+	// With fresh statistics the spike is visible and the plan flips.
+	big := dbms.ChooseJoin(costs, 120000, 20000, false)
+	fmt.Println("est. 120000 outer rows →", big.Method)
+	// Output:
+	// est. 5 outer rows → NLJ
+	// est. 120000 outer rows → SMJ
+}
+
+// ExampleJoinPlan_Explain renders the decision like EXPLAIN would.
+func ExampleJoinPlan_Explain() {
+	p := dbms.ChooseJoin(dbms.DefaultPlannerCosts(), 1000, 1000, true)
+	fmt.Println(p.Explain())
+	// Output:
+	// Join using HashJoin  (est. outer=1000 inner=1000 cost=3700)
+	//     NLJ      cost=1000100
+	//     SMJ      cost=33991
+	//   * HashJoin cost=3700
+}

@@ -1,0 +1,147 @@
+package dbms
+
+import (
+	"sort"
+)
+
+// The physical operators. These genuinely execute, so the Fig 1 / Fig 21
+// experiments measure a real nested-loops blow-up rather than a modelled
+// one.
+
+// GroupCount is one output row of Q1's GROUP BY: a customer key and how
+// many qualifying somelines rows matched it.
+type GroupCount struct {
+	Key   int64
+	Count int64
+}
+
+// FilterEqualsProject scans the relation once and returns, for every row
+// whose eqCol equals eqVal, the product projCol1*projCol2 — the
+// "(l_tax*l_extendedprice) as val" subquery of Q1.
+func FilterEqualsProject(t *Table, eqCol string, eqVal int64, projCol1, projCol2 string) []int64 {
+	s := t.Rel.Schema
+	ei := s.ColumnIndex(eqCol)
+	p1 := s.ColumnIndex(projCol1)
+	p2 := s.ColumnIndex(projCol2)
+	if ei < 0 || p1 < 0 || p2 < 0 {
+		panic("dbms: unknown column in filter/projection")
+	}
+	var out []int64
+	n := t.Rel.NumRows()
+	for r := 0; r < n; r++ {
+		if t.Rel.Value(r, ei) == eqVal {
+			out = append(out, t.Rel.Value(r, p1)*t.Rel.Value(r, p2))
+		}
+	}
+	return out
+}
+
+// customerFilter selects (key, acctbal) pairs with key < keyLimit.
+func customerFilter(customer *Table, keyLimit int64) (keys, bals []int64) {
+	s := customer.Rel.Schema
+	ki := s.ColumnIndex("c_custkey")
+	bi := s.ColumnIndex("c_acctbal")
+	n := customer.Rel.NumRows()
+	for r := 0; r < n; r++ {
+		k := customer.Rel.Value(r, ki)
+		if k < keyLimit {
+			keys = append(keys, k)
+			bals = append(bals, customer.Rel.Value(r, bi))
+		}
+	}
+	return keys, bals
+}
+
+// NLJCountLess executes Q1's inequality join with nested loops: for every
+// filtered customer, every somelines value is compared. O(|outer|·|inner|).
+func NLJCountLess(vals []int64, customer *Table, keyLimit int64) []GroupCount {
+	keys, bals := customerFilter(customer, keyLimit)
+	out := make([]GroupCount, 0, len(keys))
+	for i, k := range keys {
+		bal := bals[i]
+		var cnt int64
+		for _, v := range vals {
+			if v < bal {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			out = append(out, GroupCount{Key: k, Count: cnt})
+		}
+	}
+	return out
+}
+
+// SortCountLess executes the same join the sort-based way: somelines is
+// sorted once, then each customer's count is a binary search.
+// O(n log n + m log n).
+func SortCountLess(vals []int64, customer *Table, keyLimit int64) []GroupCount {
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	keys, bals := customerFilter(customer, keyLimit)
+	out := make([]GroupCount, 0, len(keys))
+	for i, k := range keys {
+		bal := bals[i]
+		cnt := int64(sort.Search(len(sorted), func(j int) bool { return sorted[j] >= bal }))
+		if cnt > 0 {
+			out = append(out, GroupCount{Key: k, Count: cnt})
+		}
+	}
+	return out
+}
+
+// NLJCountEquals executes the Fig 21 equality variant with nested loops.
+func NLJCountEquals(vals []int64, customer *Table, keyLimit int64) []GroupCount {
+	keys, bals := customerFilter(customer, keyLimit)
+	out := make([]GroupCount, 0, 16)
+	for i, k := range keys {
+		bal := bals[i]
+		var cnt int64
+		for _, v := range vals {
+			if v == bal {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			out = append(out, GroupCount{Key: k, Count: cnt})
+		}
+	}
+	return out
+}
+
+// SMJCountEquals executes the equality variant by sorting somelines and
+// binary-searching the equal range per customer.
+func SMJCountEquals(vals []int64, customer *Table, keyLimit int64) []GroupCount {
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	keys, bals := customerFilter(customer, keyLimit)
+	out := make([]GroupCount, 0, 16)
+	for i, k := range keys {
+		bal := bals[i]
+		lo := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= bal })
+		hi := sort.Search(len(sorted), func(j int) bool { return sorted[j] > bal })
+		if hi > lo {
+			out = append(out, GroupCount{Key: k, Count: int64(hi - lo)})
+		}
+	}
+	return out
+}
+
+// HashCountEquals executes the equality variant with a hash table on
+// somelines values.
+func HashCountEquals(vals []int64, customer *Table, keyLimit int64) []GroupCount {
+	counts := make(map[int64]int64, 1024)
+	for _, v := range vals {
+		counts[v]++
+	}
+	keys, bals := customerFilter(customer, keyLimit)
+	out := make([]GroupCount, 0, 16)
+	for i, k := range keys {
+		if c := counts[bals[i]]; c > 0 {
+			out = append(out, GroupCount{Key: k, Count: c})
+		}
+	}
+	return out
+}

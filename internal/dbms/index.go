@@ -1,0 +1,52 @@
+package dbms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Index is a sorted projection of one column — the structure DBx can gather
+// histograms from in Fig 18. "The index is a sorted representation of the
+// underlying data, and hides the width of the original rows."
+type Index struct {
+	Table  string
+	Column string
+	// Sorted holds every value of the column in ascending order.
+	Sorted []int64
+	// BuildTime is the real cost of creating the index; the paper stresses
+	// that this cost is "not represented at all" in Fig 18.
+	BuildTime time.Duration
+}
+
+// CreateIndex builds (and registers) a sorted index on the column.
+func CreateIndex(t *Table, column string) (*Index, error) {
+	colIdx := t.Rel.Schema.ColumnIndex(column)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("dbms: table %q has no column %q", t.Rel.Name, column)
+	}
+	start := time.Now()
+	vals := t.Rel.Column(colIdx)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := &Index{
+		Table:     t.Rel.Name,
+		Column:    column,
+		Sorted:    vals,
+		BuildTime: time.Since(start),
+	}
+	t.indexes[column] = idx
+	return idx, nil
+}
+
+// CountEquals returns the exact number of entries equal to v (binary
+// search on both boundaries).
+func (ix *Index) CountEquals(v int64) int64 {
+	lo := sort.Search(len(ix.Sorted), func(i int) bool { return ix.Sorted[i] >= v })
+	hi := sort.Search(len(ix.Sorted), func(i int) bool { return ix.Sorted[i] > v })
+	return int64(hi - lo)
+}
+
+// CountLess returns the exact number of entries strictly below v.
+func (ix *Index) CountLess(v int64) int64 {
+	return int64(sort.Search(len(ix.Sorted), func(i int) bool { return ix.Sorted[i] >= v }))
+}

@@ -1,0 +1,105 @@
+package dbms
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExplainRendering(t *testing.T) {
+	p := ChooseJoin(DefaultPlannerCosts(), 50000, 8000, true)
+	s := p.Explain()
+	for _, frag := range []string{"Join using", "NLJ", "SMJ", "HashJoin", "cost="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, s)
+		}
+	}
+	// Exactly one starred (chosen) line.
+	if strings.Count(s, "*") != 1 {
+		t.Errorf("Explain should star exactly one alternative:\n%s", s)
+	}
+	// Inequality: hash must not appear.
+	s2 := ChooseJoin(DefaultPlannerCosts(), 100, 100, false).Explain()
+	if strings.Contains(s2, "HashJoin") {
+		t.Errorf("inequality Explain mentions hash:\n%s", s2)
+	}
+}
+
+func TestChooseJoinPicksMinimum(t *testing.T) {
+	c := DefaultPlannerCosts()
+	f := func(o, i uint32, eq bool) bool {
+		outer := float64(o%1_000_000) + 1
+		inner := float64(i%1_000_000) + 1
+		p := ChooseJoin(c, outer, inner, eq)
+		best := p.Alternatives[p.Method]
+		for _, cost := range p.Alternatives {
+			if cost < best {
+				return false
+			}
+		}
+		return p.Cost == best
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseJoinClampsEstimates(t *testing.T) {
+	p := ChooseJoin(DefaultPlannerCosts(), -5, 0, true)
+	if p.EstOuter != 1 || p.EstInner != 1 {
+		t.Errorf("estimates not clamped: %+v", p)
+	}
+}
+
+func TestChooseJoinOrderedBuildsSmallSide(t *testing.T) {
+	c := DefaultPlannerCosts()
+	// Hash join: building the hash table on the small side is cheaper, so
+	// with A huge and B small the planner probes with A (no swap needed
+	// when A is already the outer argument).
+	p := ChooseJoinOrdered(c, 1_000_000, 1_000, true)
+	if p.Method != Hash {
+		t.Fatalf("method = %v", p.Method)
+	}
+	if p.Swapped {
+		t.Error("swapped although A was already the probe side")
+	}
+	// Reversed arguments: the planner must swap.
+	p2 := ChooseJoinOrdered(c, 1_000, 1_000_000, true)
+	if !p2.Swapped {
+		t.Error("did not swap to build on the small side")
+	}
+	if p2.Cost != p.Cost {
+		t.Errorf("order-normalised costs differ: %v vs %v", p2.Cost, p.Cost)
+	}
+}
+
+func TestChooseJoinOrderedNeverWorse(t *testing.T) {
+	c := DefaultPlannerCosts()
+	f := func(a, b uint32, eq bool) bool {
+		ea := float64(a%100_000) + 1
+		eb := float64(b%100_000) + 1
+		p := ChooseJoinOrdered(c, ea, eb, eq)
+		return p.Cost <= ChooseJoin(c, ea, eb, eq).Cost
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlannerCostMonotonicity(t *testing.T) {
+	c := DefaultPlannerCosts()
+	// NLJ cost grows multiplicatively; at some outer size the plan flips
+	// away from NLJ and never flips back.
+	flipped := false
+	for outer := 1.0; outer <= 1e6; outer *= 10 {
+		p := ChooseJoin(c, outer, 10_000, false)
+		if p.Method != NestedLoops {
+			flipped = true
+		} else if flipped {
+			t.Fatalf("plan flipped back to NLJ at outer=%g", outer)
+		}
+	}
+	if !flipped {
+		t.Error("plan never left NLJ even at 1M outer rows")
+	}
+}

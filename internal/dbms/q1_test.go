@@ -1,0 +1,186 @@
+package dbms
+
+import (
+	"testing"
+
+	"streamhist/internal/table"
+	"streamhist/internal/tpch"
+)
+
+const spikePrice = 200100 // the "2001" literal, in cents
+
+// q1Database builds a small lineitem+customer database with an injected
+// spike at spikePrice and stale statistics gathered before the injection.
+func q1Database(t *testing.T, rows, customers, spike int) *Database {
+	t.Helper()
+	db := NewDatabase(DBx())
+	db.AddTable(tpch.Lineitem(rows, 1, 21))
+	db.AddTable(tpch.Customer(customers, 22))
+	if _, err := db.GatherStats("lineitem", "l_extendedprice", 100, 23); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GatherStats("customer", "c_custkey", 100, 24); err != nil {
+		t.Fatal(err)
+	}
+	// The §2 update: inflate the spiked price AFTER gathering stats.
+	db.MutateColumn("lineitem", func(rel *table.Relation) {
+		tpch.InflateValue(rel, "l_extendedprice", spikePrice, spike, 25)
+	})
+	return db
+}
+
+func TestCatalogVersioning(t *testing.T) {
+	db := q1Database(t, 5000, 1000, 100)
+	if !db.Catalog.Stale("lineitem", "l_extendedprice") {
+		t.Error("stats should be stale after mutation")
+	}
+	if db.Catalog.Stale("customer", "c_custkey") {
+		t.Error("customer stats should still be fresh")
+	}
+	if _, err := db.GatherStats("lineitem", "l_extendedprice", 100, 26); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog.Stale("lineitem", "l_extendedprice") {
+		t.Error("stats should be fresh after re-gathering")
+	}
+}
+
+func TestStaleStatsUnderestimateSpike(t *testing.T) {
+	db := q1Database(t, 20000, 2000, 2000)
+	stale := db.Catalog.EstimateEquals("lineitem", "l_extendedprice", spikePrice)
+	if stale > 100 {
+		t.Errorf("stale estimate = %v, expected tiny", stale)
+	}
+	db.GatherStats("lineitem", "l_extendedprice", 100, 27)
+	fresh := db.Catalog.EstimateEquals("lineitem", "l_extendedprice", spikePrice)
+	if fresh < 1500 {
+		t.Errorf("fresh estimate = %v, expected ~2000", fresh)
+	}
+}
+
+func TestQ1PlanFlipsWithFreshStats(t *testing.T) {
+	// The Fig 1 mechanism: stale stats → tiny outer estimate → NLJ;
+	// fresh stats → the spike is visible → sort-based plan.
+	db := q1Database(t, 20000, 5000, 2000)
+	p := Q1Params{Price: spikePrice, KeyLimit: 4000}
+
+	staleRes := RunQ1(db, p)
+	if staleRes.Plan.Method != NestedLoops {
+		t.Errorf("stale plan = %v, want NLJ", staleRes.Plan.Method)
+	}
+	if staleRes.ActualOuter < 2000 {
+		t.Errorf("actual outer = %d", staleRes.ActualOuter)
+	}
+
+	db.GatherStats("lineitem", "l_extendedprice", 100, 28)
+	freshRes := RunQ1(db, p)
+	if freshRes.Plan.Method == NestedLoops {
+		t.Errorf("fresh plan = %v, want sort-based", freshRes.Plan.Method)
+	}
+
+	// Both plans must return identical results.
+	if len(staleRes.Groups) != len(freshRes.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(staleRes.Groups), len(freshRes.Groups))
+	}
+	for i := range staleRes.Groups {
+		if staleRes.Groups[i] != freshRes.Groups[i] {
+			t.Fatalf("group %d differs: %+v vs %+v", i, staleRes.Groups[i], freshRes.Groups[i])
+		}
+	}
+}
+
+func TestQ1NLJSlowerThanSort(t *testing.T) {
+	// The join-time gap of Fig 1 must be real and grow with x.
+	db := q1Database(t, 30000, 20000, 6000)
+	nlj := NestedLoops
+	smj := SortMerge
+	pNLJ := Q1Params{Price: spikePrice, KeyLimit: 15000, ForceMethod: &nlj}
+	pSMJ := Q1Params{Price: spikePrice, KeyLimit: 15000, ForceMethod: &smj}
+	rNLJ := RunQ1(db, pNLJ)
+	rSMJ := RunQ1(db, pSMJ)
+	if rNLJ.JoinTime <= rSMJ.JoinTime {
+		t.Errorf("NLJ (%v) not slower than sort-based (%v)", rNLJ.JoinTime, rSMJ.JoinTime)
+	}
+}
+
+func TestQ1EqualityVariantPlans(t *testing.T) {
+	// The Fig 21 variant: with an equality predicate the planner can also
+	// choose a hash join; a large outer estimate must avoid NLJ.
+	db := q1Database(t, 20000, 5000, 3000)
+	db.GatherStats("lineitem", "l_extendedprice", 100, 29)
+	res := RunQ1(db, Q1Params{Price: spikePrice, KeyLimit: 4000, Equality: true})
+	if res.Plan.Method == NestedLoops {
+		t.Errorf("equality plan = %v with %v estimated outer rows", res.Plan.Method, res.Plan.EstOuter)
+	}
+	if _, ok := res.Plan.Alternatives[Hash]; !ok {
+		t.Error("hash join not considered for equality predicate")
+	}
+}
+
+func TestQ1EqualityExecutorsAgree(t *testing.T) {
+	db := q1Database(t, 10000, 3000, 1500)
+	methods := []JoinMethod{NestedLoops, SortMerge, Hash}
+	var ref []GroupCount
+	for _, m := range methods {
+		m := m
+		res := RunQ1(db, Q1Params{Price: spikePrice, KeyLimit: 2500, Equality: true, ForceMethod: &m})
+		if ref == nil {
+			ref = res.Groups
+			continue
+		}
+		if len(res.Groups) != len(ref) {
+			t.Fatalf("%v returned %d groups, want %d", m, len(res.Groups), len(ref))
+		}
+		for i := range ref {
+			if res.Groups[i] != ref[i] {
+				t.Fatalf("%v group %d differs", m, i)
+			}
+		}
+	}
+}
+
+func TestChooseJoinCostOrdering(t *testing.T) {
+	c := DefaultPlannerCosts()
+	// Tiny outer: NLJ wins.
+	if p := ChooseJoin(c, 5, 1000, false); p.Method != NestedLoops {
+		t.Errorf("tiny outer plan = %v", p.Method)
+	}
+	// Large outer: sort-based wins for inequality.
+	if p := ChooseJoin(c, 100000, 10000, false); p.Method != SortMerge {
+		t.Errorf("large outer plan = %v", p.Method)
+	}
+	// Equality with large inputs: hash wins.
+	if p := ChooseJoin(c, 100000, 10000, true); p.Method != Hash {
+		t.Errorf("equality plan = %v", p.Method)
+	}
+	// Non-equality must never pick hash.
+	if _, ok := ChooseJoin(c, 100, 100, false).Alternatives[Hash]; ok {
+		t.Error("hash considered for inequality join")
+	}
+}
+
+func TestInstallStats(t *testing.T) {
+	// Accelerator-produced histograms can be installed directly — the
+	// integration point of the paper.
+	db := q1Database(t, 10000, 1000, 1000)
+	if !db.Catalog.Stale("lineitem", "l_extendedprice") {
+		t.Fatal("precondition: stats stale")
+	}
+	res, err := db.Analyzer.Analyze(db.Table("lineitem"), AnalyzeOptions{Column: "l_extendedprice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.InstallStats("lineitem", "l_extendedprice", res.Histogram, res.NDistinct)
+	if db.Catalog.Stale("lineitem", "l_extendedprice") {
+		t.Error("installed stats should be fresh")
+	}
+	if db.Catalog.Describe("lineitem", "l_extendedprice") == "" {
+		t.Error("Describe empty")
+	}
+}
+
+func TestJoinMethodString(t *testing.T) {
+	if NestedLoops.String() != "NLJ" || SortMerge.String() != "SMJ" || Hash.String() != "HashJoin" {
+		t.Error("join method names wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package hist
+
+import (
+	"testing"
+
+	"streamhist/internal/datagen"
+)
+
+func TestPointErrorZeroForPerfectHistogram(t *testing.T) {
+	// One bucket per distinct value estimates everything exactly.
+	vals := zipfValues(3000, 30, 0.8, 51)
+	truth := buildVec(vals)
+	h := BuildEquiDepth(truth, 100000) // limit 1 → one bucket per bin
+	if e := PointError(h, truth); e != 0 {
+		t.Errorf("perfect histogram point error = %v", e)
+	}
+}
+
+func TestPointErrorDecreasesWithBuckets(t *testing.T) {
+	// The trend is downward but not strictly monotone bucket-to-bucket
+	// (boundary placement can shift unluckily), so allow 25% slack between
+	// neighbours and require a clear win end-to-end.
+	vals := zipfValues(30000, 1000, 0.9, 52)
+	truth := buildVec(vals)
+	errs := make([]float64, 0, 4)
+	for _, b := range []int{4, 16, 64, 256} {
+		errs = append(errs, PointError(BuildEquiDepth(truth, b), truth))
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1]*1.25 {
+			t.Errorf("error grew sharply from %v to %v", errs[i-1], errs[i])
+		}
+	}
+	if errs[len(errs)-1] >= errs[0] {
+		t.Errorf("256-bucket error %v not below 4-bucket error %v", errs[len(errs)-1], errs[0])
+	}
+}
+
+func TestCompressedBeatsEquiDepthOnHeavyHitters(t *testing.T) {
+	// With strong skew, keeping heavy hitters exact must help point
+	// estimates — the motivation for Compressed histograms in §3.
+	vals := zipfValues(50000, 500, 1.0, 53)
+	truth := buildVec(vals)
+	ed := PointError(BuildEquiDepth(truth, 32), truth)
+	comp := PointError(BuildCompressed(truth, 16, 16), truth)
+	if comp > ed {
+		t.Errorf("compressed error %v worse than equi-depth %v", comp, ed)
+	}
+}
+
+func TestRangeErrorDeterministic(t *testing.T) {
+	vals := zipfValues(20000, 400, 0.7, 54)
+	truth := buildVec(vals)
+	h := BuildEquiDepth(truth, 16)
+	a := RangeError(h, truth, 500, 99)
+	b := RangeError(h, truth, 500, 99)
+	if a != b {
+		t.Errorf("same seed produced different errors: %v vs %v", a, b)
+	}
+	c := RangeError(h, truth, 500, 100)
+	if a == c {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}
+
+func TestRangeErrorSmallForFineHistogram(t *testing.T) {
+	vals := zipfValues(20000, 200, 0.3, 55)
+	truth := buildVec(vals)
+	coarse := RangeError(BuildEquiDepth(truth, 4), truth, 300, 7)
+	fine := RangeError(BuildEquiDepth(truth, 128), truth, 300, 7)
+	if fine > coarse+1e-9 {
+		t.Errorf("fine histogram range error %v worse than coarse %v", fine, coarse)
+	}
+}
+
+func TestMaxPointErrorBoundsMean(t *testing.T) {
+	vals := zipfValues(10000, 300, 0.8, 56)
+	truth := buildVec(vals)
+	h := BuildEquiDepth(truth, 16)
+	mean := PointError(h, truth)
+	max := MaxPointError(h, truth)
+	if max < mean {
+		t.Errorf("max error %v below mean %v", max, mean)
+	}
+}
+
+func TestErrorsOnEmptyInputs(t *testing.T) {
+	truth := buildVec(nil)
+	var h Histogram
+	if PointError(&h, truth) != 0 || RangeError(&h, truth, 10, 1) != 0 || MaxPointError(&h, truth) != 0 {
+		t.Error("errors on empty truth should be zero")
+	}
+}
+
+func TestSamplingDegradesAccuracyMonotonically(t *testing.T) {
+	// The Fig 2 / §6.2 story: lower sampling rates give (on average) worse
+	// histograms. Checked with fixed seeds and averaged over values.
+	gen := datagen.NewZipf(57, 0, 3000, 0.95, true)
+	vals := datagen.Take(gen, 80000)
+	truth := buildVec(vals)
+
+	errAt := func(pct int) float64 {
+		rng := datagen.NewRNG(uint64(58 + pct))
+		sample := make([]int64, 0, len(vals)*pct/100+1)
+		for _, v := range vals {
+			if rng.Intn(100) < pct {
+				sample = append(sample, v)
+			}
+		}
+		sorted := append([]int64(nil), sample...)
+		quicksort(sorted)
+		h := BuildFromSorted(sorted, EquiDepth, 64, 0).Scale(float64(len(vals)) / float64(len(sorted)))
+		return PointError(h, truth)
+	}
+	e100 := errAt(100)
+	e5 := errAt(5)
+	if e100 > e5 {
+		t.Errorf("full-data error %v worse than 5%% sample %v", e100, e5)
+	}
+}
+
+func quicksort(v []int64) {
+	if len(v) < 2 {
+		return
+	}
+	pivot := v[len(v)/2]
+	lo, hi := 0, len(v)-1
+	for lo <= hi {
+		for v[lo] < pivot {
+			lo++
+		}
+		for v[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			v[lo], v[hi] = v[hi], v[lo]
+			lo++
+			hi--
+		}
+	}
+	quicksort(v[:hi+1])
+	quicksort(v[lo:])
+}

@@ -1,0 +1,60 @@
+package hist_test
+
+import (
+	"fmt"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/hist"
+)
+
+// ExampleBuildEquiDepth builds the DBMS-default histogram from a binned
+// column view.
+func ExampleBuildEquiDepth() {
+	vec := bins.Build([]int64{1, 1, 1, 1, 2, 2, 3, 3, 4, 4, 5, 6}, 1)
+	h := hist.BuildEquiDepth(vec, 3)
+	for _, b := range h.Buckets {
+		fmt.Printf("[%d..%d] %d rows\n", b.Low, b.High, b.Count)
+	}
+	// Output:
+	// [1..1] 4 rows
+	// [2..3] 4 rows
+	// [4..6] 4 rows
+}
+
+// ExampleBuildCompressed separates heavy hitters before bucketing.
+func ExampleBuildCompressed() {
+	vals := []int64{7, 7, 7, 7, 7, 7, 1, 2, 3, 4}
+	h := hist.BuildCompressed(bins.Build(vals, 1), 1, 2)
+	fmt.Printf("exact: value %d x %d\n", h.Frequent[0].Value, h.Frequent[0].Count)
+	fmt.Println("residual buckets:", len(h.Buckets))
+	// Output:
+	// exact: value 7 x 6
+	// residual buckets: 2
+}
+
+// ExampleHistogram_EstimateRange answers an optimizer range predicate.
+func ExampleHistogram_EstimateRange() {
+	vals := make([]int64, 0, 100)
+	for v := int64(0); v < 100; v++ {
+		vals = append(vals, v)
+	}
+	h := hist.BuildEquiDepth(bins.Build(vals, 1), 10)
+	fmt.Printf("%.0f\n", h.EstimateRange(0, 49))
+	// Output:
+	// 50
+}
+
+// ExampleHistogram_Quantile reads a percentile off an equi-depth histogram.
+func ExampleHistogram_Quantile() {
+	vals := make([]int64, 0, 1000)
+	for v := int64(0); v < 100; v++ {
+		for i := 0; i < 10; i++ {
+			vals = append(vals, v)
+		}
+	}
+	h := hist.BuildEquiDepth(bins.Build(vals, 1), 20)
+	median, _ := h.Quantile(0.5)
+	fmt.Println("median ≈", median)
+	// Output:
+	// median ≈ 49
+}

@@ -1,0 +1,432 @@
+// Package hist is the software reference implementation of the histogram
+// types discussed in §3 of the paper: Equi-width, Equi-depth (Oracle-style
+// hybrid), Compressed, Max-diff, and — as an accuracy yardstick — the exact
+// V-optimal histogram of Poosala et al. It also provides TopK frequency
+// lists, selectivity estimation on top of every histogram kind, and the
+// error metrics used to compare full-data histograms against sampled ones.
+//
+// All constructors consume the binned sorted view (bins.Vector) produced by
+// a bin-sort pass, mirroring the two-phase structure of the hardware
+// (Binner → Histogram module). Helpers to build from raw value slices (the
+// software-DBMS path: sample, sort, bucket) are provided as well.
+package hist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamhist/internal/bins"
+)
+
+// Kind identifies a histogram flavour.
+type Kind uint8
+
+const (
+	// EquiWidth divides the value range into fixed-width buckets.
+	EquiWidth Kind = iota
+	// EquiDepth aims for equal row counts per bucket (Oracle hybrid rule:
+	// all occurrences of one value stay in one bucket).
+	EquiDepth
+	// MaxDiff places boundaries at the largest adjacent-frequency jumps.
+	MaxDiff
+	// Compressed keeps the T most frequent values exactly and equi-depths
+	// the rest.
+	Compressed
+	// VOptimal minimises within-bucket frequency variance (exact DP).
+	VOptimal
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case EquiWidth:
+		return "equi-width"
+	case EquiDepth:
+		return "equi-depth"
+	case MaxDiff:
+		return "max-diff"
+	case Compressed:
+		return "compressed"
+	case VOptimal:
+		return "v-optimal"
+	default:
+		if name, ok := topFrequencyName(k); ok {
+			return name
+		}
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Bucket summarises a contiguous value range.
+type Bucket struct {
+	// Low and High are the lowest and highest values present in the bucket
+	// (inclusive).
+	Low, High int64
+	// Count is the total number of rows falling in the bucket.
+	Count int64
+	// Distinct is the number of distinct values observed in the bucket.
+	Distinct int64
+}
+
+// FrequentValue is one exact (value, count) entry of a TopK list or the
+// frequent-value section of a Compressed histogram.
+type FrequentValue struct {
+	Value int64
+	Count int64
+}
+
+// Histogram is the query-optimizer-facing statistic: an ordered list of
+// buckets, optionally preceded by an exact frequent-value list (Compressed).
+type Histogram struct {
+	Kind    Kind
+	Buckets []Bucket
+	// Frequent holds exact heavy hitters for Compressed histograms
+	// (sorted by descending count). Empty for other kinds.
+	Frequent []FrequentValue
+	// Total is the number of rows the histogram summarises (buckets +
+	// frequent values together).
+	Total int64
+	// DistinctTotal is the total number of distinct values summarised.
+	DistinctTotal int64
+}
+
+// String renders a compact human-readable description.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s{total=%d distinct=%d", h.Kind, h.Total, h.DistinctTotal)
+	if len(h.Frequent) > 0 {
+		fmt.Fprintf(&b, " frequent=%d", len(h.Frequent))
+	}
+	fmt.Fprintf(&b, " buckets=%d}", len(h.Buckets))
+	return b.String()
+}
+
+// validateRequest panics on nonsensical bucket counts; every constructor
+// funnels through it.
+func validateRequest(what string, n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("hist: %s requires a positive bucket count, got %d", what, n))
+	}
+}
+
+// BuildEquiWidth constructs an equi-width histogram with b buckets over the
+// vector's full value range.
+func BuildEquiWidth(v *bins.Vector, b int) *Histogram {
+	validateRequest("equi-width", b)
+	nz := v.NonZero()
+	h := &Histogram{Kind: EquiWidth, Total: v.Total(), DistinctTotal: int64(len(nz))}
+	if len(nz) == 0 {
+		return h
+	}
+	lo := nz[0].Value
+	hi := nz[len(nz)-1].Value
+	span := hi - lo + 1
+	width := span / int64(b)
+	if span%int64(b) != 0 {
+		width++
+	}
+	if width < 1 {
+		width = 1
+	}
+	cur := Bucket{Low: lo, High: lo + width - 1}
+	curEnd := lo + width // first value of the next bucket
+	for _, bin := range nz {
+		for bin.Value >= curEnd {
+			if cur.Count > 0 || true { // equi-width keeps empty buckets
+				h.Buckets = append(h.Buckets, cur)
+			}
+			cur = Bucket{Low: curEnd, High: curEnd + width - 1}
+			curEnd += width
+		}
+		cur.Count += bin.Count
+		cur.Distinct++
+	}
+	h.Buckets = append(h.Buckets, cur)
+	return h
+}
+
+// equiDepthLimit computes the per-bucket row target the way the hardware
+// does it (§5.2.1): total count divided by bucket count, never below one.
+func equiDepthLimit(total int64, b int) int64 {
+	limit := total / int64(b)
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// equiDepthOverBins runs the streaming equi-depth rule over a bin sequence:
+// accumulate, close the bucket when the running sum reaches the limit. All
+// occurrences of one value always land in one bucket, so buckets can
+// overshoot the limit — exactly Oracle's hybrid behaviour, and exactly what
+// the Equi-depth block in hardware does.
+func equiDepthOverBins(nz []bins.Bin, total int64, b int) []Bucket {
+	if len(nz) == 0 {
+		return nil
+	}
+	limit := equiDepthLimit(total, b)
+	var out []Bucket
+	cur := Bucket{Low: nz[0].Value}
+	for _, bin := range nz {
+		if cur.Distinct == 0 {
+			cur.Low = bin.Value
+		}
+		cur.Count += bin.Count
+		cur.Distinct++
+		cur.High = bin.Value
+		if cur.Count >= limit {
+			out = append(out, cur)
+			cur = Bucket{}
+		}
+	}
+	if cur.Distinct > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// BuildEquiDepth constructs an equi-depth histogram with (approximately) b
+// buckets from the binned view.
+func BuildEquiDepth(v *bins.Vector, b int) *Histogram {
+	validateRequest("equi-depth", b)
+	nz := v.NonZero()
+	return &Histogram{
+		Kind:          EquiDepth,
+		Buckets:       equiDepthOverBins(nz, v.Total(), b),
+		Total:         v.Total(),
+		DistinctTotal: int64(len(nz)),
+	}
+}
+
+// topKOfBins returns the k highest-count bins, ordered by descending count
+// and, among equal counts, ascending value (the order the hardware insertion
+// pipeline produces for an ascending-value scan).
+func topKOfBins(nz []bins.Bin, k int) []FrequentValue {
+	if k <= 0 {
+		return nil
+	}
+	sorted := make([]bins.Bin, len(nz))
+	copy(sorted, nz)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return sorted[i].Value < sorted[j].Value
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	out := make([]FrequentValue, k)
+	for i := 0; i < k; i++ {
+		out[i] = FrequentValue{Value: sorted[i].Value, Count: sorted[i].Count}
+	}
+	return out
+}
+
+// BuildTopK returns the k most frequent values as an exact list.
+func BuildTopK(v *bins.Vector, k int) []FrequentValue {
+	return topKOfBins(v.NonZero(), k)
+}
+
+// BuildMaxDiff constructs a Max-diff histogram with b buckets: the b-1
+// bucket boundaries sit at the b-1 largest absolute differences between
+// adjacent bins' counts (§3, §5.2.2). Ties are broken toward the earlier
+// boundary, matching the hardware TopK block's first-wins insertion rule.
+func BuildMaxDiff(v *bins.Vector, b int) *Histogram {
+	validateRequest("max-diff", b)
+	nz := v.NonZero()
+	h := &Histogram{Kind: MaxDiff, Total: v.Total(), DistinctTotal: int64(len(nz))}
+	if len(nz) == 0 {
+		return h
+	}
+	boundaries := maxDiffBoundaries(nz, b-1)
+	h.Buckets = bucketsFromBoundaries(nz, boundaries)
+	return h
+}
+
+// maxDiffBoundaries returns the indices i such that a bucket boundary is
+// placed after nz[i], choosing the k largest |count[i+1]-count[i]| gaps.
+func maxDiffBoundaries(nz []bins.Bin, k int) map[int]bool {
+	boundaries := make(map[int]bool, k)
+	if k <= 0 || len(nz) < 2 {
+		return boundaries
+	}
+	type gap struct {
+		idx  int
+		diff int64
+	}
+	gaps := make([]gap, len(nz)-1)
+	for i := 0; i+1 < len(nz); i++ {
+		d := nz[i+1].Count - nz[i].Count
+		if d < 0 {
+			d = -d
+		}
+		gaps[i] = gap{idx: i, diff: d}
+	}
+	sort.SliceStable(gaps, func(i, j int) bool {
+		if gaps[i].diff != gaps[j].diff {
+			return gaps[i].diff > gaps[j].diff
+		}
+		return gaps[i].idx < gaps[j].idx
+	})
+	if k > len(gaps) {
+		k = len(gaps)
+	}
+	for i := 0; i < k; i++ {
+		boundaries[gaps[i].idx] = true
+	}
+	return boundaries
+}
+
+// bucketsFromBoundaries cuts the bin sequence into buckets after every index
+// present in boundaries.
+func bucketsFromBoundaries(nz []bins.Bin, boundaries map[int]bool) []Bucket {
+	var out []Bucket
+	var cur Bucket
+	for i, bin := range nz {
+		if cur.Distinct == 0 {
+			cur.Low = bin.Value
+		}
+		cur.Count += bin.Count
+		cur.Distinct++
+		cur.High = bin.Value
+		if boundaries[i] {
+			out = append(out, cur)
+			cur = Bucket{}
+		}
+	}
+	if cur.Distinct > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// BuildCompressed constructs a Compressed histogram: the t most frequent
+// values are recorded exactly, and an equi-depth histogram with b buckets is
+// built over the remaining values (§3, §5.2.2).
+func BuildCompressed(v *bins.Vector, t, b int) *Histogram {
+	validateRequest("compressed", b)
+	if t < 0 {
+		panic("hist: compressed requires a non-negative frequent-value count")
+	}
+	nz := v.NonZero()
+	h := &Histogram{Kind: Compressed, Total: v.Total(), DistinctTotal: int64(len(nz))}
+	if len(nz) == 0 {
+		return h
+	}
+	h.Frequent = topKOfBins(nz, t)
+	inTop := make(map[int64]bool, len(h.Frequent))
+	var topMass int64
+	for _, f := range h.Frequent {
+		inTop[f.Value] = true
+		topMass += f.Count
+	}
+	residual := make([]bins.Bin, 0, len(nz)-len(h.Frequent))
+	for _, bin := range nz {
+		if !inTop[bin.Value] {
+			residual = append(residual, bin)
+		}
+	}
+	h.Buckets = equiDepthOverBins(residual, v.Total()-topMass, b)
+	return h
+}
+
+// BuildFromSorted builds a histogram of the requested kind directly from a
+// sorted slice of values — the software DBMS path (sample, sort, bucket).
+// For Compressed, t frequent values are retained (pass t via tOpt; other
+// kinds ignore it).
+func BuildFromSorted(sorted []int64, kind Kind, b, tOpt int) *Histogram {
+	nz := binsFromSorted(sorted)
+	v := vectorFacade(nz)
+	switch kind {
+	case EquiWidth:
+		return BuildEquiWidth(v, b)
+	case EquiDepth:
+		return BuildEquiDepth(v, b)
+	case MaxDiff:
+		return BuildMaxDiff(v, b)
+	case Compressed:
+		return BuildCompressed(v, tOpt, b)
+	case VOptimal:
+		return BuildVOptimal(v, b)
+	default:
+		panic(fmt.Sprintf("hist: unknown kind %v", kind))
+	}
+}
+
+// BuildFromBins builds a histogram of the requested kind from
+// run-length-encoded (value, count) pairs in ascending value order — the
+// natural output of hash-aggregation paths that never materialise the full
+// sorted multiset. tOpt is the frequent-value count for Compressed.
+func BuildFromBins(nz []bins.Bin, kind Kind, b, tOpt int) *Histogram {
+	v := vectorFacade(nz)
+	switch kind {
+	case EquiWidth:
+		return BuildEquiWidth(v, b)
+	case EquiDepth:
+		return BuildEquiDepth(v, b)
+	case MaxDiff:
+		return BuildMaxDiff(v, b)
+	case Compressed:
+		return BuildCompressed(v, tOpt, b)
+	case VOptimal:
+		return BuildVOptimal(v, b)
+	default:
+		panic(fmt.Sprintf("hist: unknown kind %v", kind))
+	}
+}
+
+// binsFromSorted run-length encodes a sorted slice into bins.
+func binsFromSorted(sorted []int64) []bins.Bin {
+	var nz []bins.Bin
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		nz = append(nz, bins.Bin{Value: sorted[i], Count: int64(j - i)})
+		i = j
+	}
+	return nz
+}
+
+// vectorFacade materialises a bins.Vector equivalent to the run-length
+// encoded bins; used to route sample-based construction through the same
+// code paths as full-data construction. Sparse ranges are fine: the vector
+// spans [min,max] of the observed values.
+func vectorFacade(nz []bins.Bin) *bins.Vector {
+	if len(nz) == 0 {
+		return bins.NewVector(0, 0, 1)
+	}
+	v := bins.NewVector(nz[0].Value, nz[len(nz)-1].Value, 1)
+	for _, b := range nz {
+		v.AddCount(b.Value, b.Count)
+	}
+	return v
+}
+
+// Scale returns a copy of h with every count multiplied by factor, used to
+// extrapolate a sample-built histogram to full-table cardinalities the way
+// DBMS analyzers do.
+func (h *Histogram) Scale(factor float64) *Histogram {
+	if factor <= 0 {
+		panic("hist: scale factor must be positive")
+	}
+	out := &Histogram{
+		Kind:          h.Kind,
+		Total:         int64(float64(h.Total) * factor),
+		DistinctTotal: h.DistinctTotal,
+		Buckets:       make([]Bucket, len(h.Buckets)),
+		Frequent:      make([]FrequentValue, len(h.Frequent)),
+	}
+	for i, b := range h.Buckets {
+		b.Count = int64(float64(b.Count) * factor)
+		out.Buckets[i] = b
+	}
+	for i, f := range h.Frequent {
+		f.Count = int64(float64(f.Count) * factor)
+		out.Frequent[i] = f
+	}
+	return out
+}

@@ -1,0 +1,463 @@
+package hist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/datagen"
+)
+
+// sumBuckets returns the total row count across buckets plus frequent list.
+func sumBuckets(h *Histogram) int64 {
+	var s int64
+	for _, b := range h.Buckets {
+		s += b.Count
+	}
+	for _, f := range h.Frequent {
+		s += f.Count
+	}
+	return s
+}
+
+func buildVec(vals []int64) *bins.Vector { return bins.Build(vals, 1) }
+
+func zipfValues(n int, card int64, s float64, seed uint64) []int64 {
+	return datagen.Take(datagen.NewZipf(seed, 0, card, s, true), n)
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		EquiWidth:  "equi-width",
+		EquiDepth:  "equi-depth",
+		MaxDiff:    "max-diff",
+		Compressed: "compressed",
+		VOptimal:   "v-optimal",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestEquiWidthBasic(t *testing.T) {
+	// Values 0..99, one occurrence each, 10 buckets of width 10.
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	h := BuildEquiWidth(buildVec(vals), 10)
+	if len(h.Buckets) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(h.Buckets))
+	}
+	for i, b := range h.Buckets {
+		if b.Count != 10 {
+			t.Errorf("bucket %d count = %d, want 10", i, b.Count)
+		}
+		if b.Low != int64(i*10) {
+			t.Errorf("bucket %d low = %d, want %d", i, b.Low, i*10)
+		}
+	}
+	if sumBuckets(h) != 100 {
+		t.Errorf("mass = %d", sumBuckets(h))
+	}
+}
+
+func TestEquiWidthSkewKeepsEmptyBuckets(t *testing.T) {
+	// All mass on one value: equi-width must still carve the range.
+	vals := append(make([]int64, 0, 101), 0)
+	for i := 0; i < 100; i++ {
+		vals = append(vals, 99)
+	}
+	h := BuildEquiWidth(buildVec(vals), 10)
+	if len(h.Buckets) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(h.Buckets))
+	}
+	if h.Buckets[9].Count != 100 {
+		t.Errorf("last bucket count = %d", h.Buckets[9].Count)
+	}
+	if h.Buckets[5].Count != 0 {
+		t.Errorf("middle bucket count = %d, want 0", h.Buckets[5].Count)
+	}
+}
+
+func TestEquiDepthUniform(t *testing.T) {
+	vals := make([]int64, 0, 1000)
+	for v := int64(0); v < 100; v++ {
+		for c := 0; c < 10; c++ {
+			vals = append(vals, v)
+		}
+	}
+	h := BuildEquiDepth(buildVec(vals), 10)
+	if len(h.Buckets) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(h.Buckets))
+	}
+	for i, b := range h.Buckets {
+		if b.Count != 100 {
+			t.Errorf("bucket %d count = %d, want 100", i, b.Count)
+		}
+	}
+}
+
+func TestEquiDepthMassConservation(t *testing.T) {
+	vals := zipfValues(20000, 500, 1.0, 3)
+	h := BuildEquiDepth(buildVec(vals), 16)
+	if sumBuckets(h) != int64(len(vals)) {
+		t.Errorf("mass = %d, want %d", sumBuckets(h), len(vals))
+	}
+}
+
+func TestEquiDepthHybridRule(t *testing.T) {
+	// A heavy hitter bigger than the limit must stay in one bucket whose
+	// count exceeds the limit (Oracle hybrid behaviour).
+	vals := make([]int64, 0, 1100)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, 50) // heavy hitter
+	}
+	for v := int64(0); v < 50; v++ {
+		vals = append(vals, v, v) // light tail
+	}
+	h := BuildEquiDepth(buildVec(vals), 10) // limit = 110
+	found := false
+	for _, b := range h.Buckets {
+		if b.Low <= 50 && 50 <= b.High && b.Count >= 1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("heavy hitter split across buckets: %+v", h.Buckets)
+	}
+}
+
+func TestEquiDepthBucketBoundsOrdered(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+		}
+		h := BuildEquiDepth(buildVec(vals), 8)
+		prev := int64(-1)
+		for _, b := range h.Buckets {
+			if b.Low > b.High || b.Low <= prev {
+				return false
+			}
+			prev = b.High
+		}
+		return sumBuckets(h) == int64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquiDepthEveryBucketReachesLimitExceptLast(t *testing.T) {
+	vals := zipfValues(30000, 2048, 0.75, 11)
+	b := 32
+	h := BuildEquiDepth(buildVec(vals), b)
+	limit := int64(len(vals) / b)
+	for i, bk := range h.Buckets {
+		if i < len(h.Buckets)-1 && bk.Count < limit {
+			t.Errorf("bucket %d count %d below limit %d", i, bk.Count, limit)
+		}
+	}
+}
+
+func TestTopKExact(t *testing.T) {
+	vals := []int64{1, 1, 1, 2, 2, 3, 4, 4, 4, 4}
+	top := BuildTopK(buildVec(vals), 2)
+	if len(top) != 2 {
+		t.Fatalf("topk len = %d", len(top))
+	}
+	if top[0].Value != 4 || top[0].Count != 4 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Value != 1 || top[1].Count != 3 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+}
+
+func TestTopKTieBreaksAscendingValue(t *testing.T) {
+	vals := []int64{10, 10, 20, 20, 30, 30}
+	top := BuildTopK(buildVec(vals), 2)
+	if top[0].Value != 10 || top[1].Value != 20 {
+		t.Errorf("ties should prefer smaller values: %+v", top)
+	}
+}
+
+func TestTopKLongerThanDomain(t *testing.T) {
+	top := BuildTopK(buildVec([]int64{1, 2}), 10)
+	if len(top) != 2 {
+		t.Errorf("len = %d, want 2", len(top))
+	}
+}
+
+func TestMaxDiffBoundariesAtLargestGaps(t *testing.T) {
+	// Frequencies: 100,100,100,5,5,5,200,200 -> the two largest adjacent
+	// diffs are |5-100|=95 (after idx 2) and |200-5|=195 (after idx 5).
+	vals := make([]int64, 0)
+	addN := func(v int64, n int) {
+		for i := 0; i < n; i++ {
+			vals = append(vals, v)
+		}
+	}
+	addN(0, 100)
+	addN(1, 100)
+	addN(2, 100)
+	addN(3, 5)
+	addN(4, 5)
+	addN(5, 5)
+	addN(6, 200)
+	addN(7, 200)
+	h := BuildMaxDiff(buildVec(vals), 3)
+	if len(h.Buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3: %+v", len(h.Buckets), h.Buckets)
+	}
+	if h.Buckets[0].High != 2 || h.Buckets[1].High != 5 {
+		t.Errorf("boundaries wrong: %+v", h.Buckets)
+	}
+	if h.Buckets[0].Count != 300 || h.Buckets[1].Count != 15 || h.Buckets[2].Count != 400 {
+		t.Errorf("bucket masses wrong: %+v", h.Buckets)
+	}
+}
+
+func TestMaxDiffMassConservation(t *testing.T) {
+	vals := zipfValues(10000, 300, 0.75, 5)
+	h := BuildMaxDiff(buildVec(vals), 20)
+	if sumBuckets(h) != int64(len(vals)) {
+		t.Errorf("mass = %d, want %d", sumBuckets(h), len(vals))
+	}
+	if len(h.Buckets) > 20 {
+		t.Errorf("too many buckets: %d", len(h.Buckets))
+	}
+}
+
+func TestMaxDiffSingleBucket(t *testing.T) {
+	vals := []int64{1, 2, 2, 3}
+	h := BuildMaxDiff(buildVec(vals), 1)
+	if len(h.Buckets) != 1 {
+		t.Fatalf("buckets = %d", len(h.Buckets))
+	}
+	if h.Buckets[0].Count != 4 {
+		t.Errorf("count = %d", h.Buckets[0].Count)
+	}
+}
+
+func TestCompressedSeparatesHeavyHitters(t *testing.T) {
+	vals := make([]int64, 0)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, 42)
+	}
+	for i := 0; i < 300; i++ {
+		vals = append(vals, 77)
+	}
+	for v := int64(0); v < 40; v++ {
+		vals = append(vals, v)
+	}
+	h := BuildCompressed(buildVec(vals), 2, 4)
+	if len(h.Frequent) != 2 {
+		t.Fatalf("frequent = %d", len(h.Frequent))
+	}
+	if h.Frequent[0].Value != 42 || h.Frequent[0].Count != 500 {
+		t.Errorf("frequent[0] = %+v", h.Frequent[0])
+	}
+	if h.Frequent[1].Value != 77 || h.Frequent[1].Count != 300 {
+		t.Errorf("frequent[1] = %+v", h.Frequent[1])
+	}
+	// Residual buckets must not contain the heavy hitters.
+	for _, b := range h.Buckets {
+		if b.Low <= 42 && 42 <= b.High && b.Count > 40 {
+			t.Errorf("heavy hitter leaked into bucket %+v", b)
+		}
+	}
+	if sumBuckets(h) != int64(len(vals)) {
+		t.Errorf("mass = %d, want %d", sumBuckets(h), len(vals))
+	}
+}
+
+func TestCompressedPartitionProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r % 64)
+		}
+		h := BuildCompressed(buildVec(vals), 5, 8)
+		return sumBuckets(h) == int64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFromSortedMatchesVectorPath(t *testing.T) {
+	vals := zipfValues(5000, 200, 0.5, 9)
+	vec := buildVec(vals)
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sortInt64s(sorted)
+	for _, kind := range []Kind{EquiWidth, EquiDepth, MaxDiff, Compressed} {
+		var a, b *Histogram
+		switch kind {
+		case EquiWidth:
+			a = BuildEquiWidth(vec, 16)
+		case EquiDepth:
+			a = BuildEquiDepth(vec, 16)
+		case MaxDiff:
+			a = BuildMaxDiff(vec, 16)
+		case Compressed:
+			a = BuildCompressed(vec, 8, 16)
+		}
+		b = BuildFromSorted(sorted, kind, 16, 8)
+		if len(a.Buckets) != len(b.Buckets) {
+			t.Errorf("%v: bucket count %d != %d", kind, len(a.Buckets), len(b.Buckets))
+			continue
+		}
+		for i := range a.Buckets {
+			if a.Buckets[i] != b.Buckets[i] {
+				t.Errorf("%v bucket %d: %+v != %+v", kind, i, a.Buckets[i], b.Buckets[i])
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	vals := []int64{1, 1, 2, 3}
+	h := BuildEquiDepth(buildVec(vals), 2)
+	s := h.Scale(10)
+	if s.Total != 40 {
+		t.Errorf("scaled total = %d", s.Total)
+	}
+	if sumBuckets(s) != 40 {
+		t.Errorf("scaled mass = %d", sumBuckets(s))
+	}
+	// Original untouched.
+	if h.Total != 4 {
+		t.Errorf("original mutated: %d", h.Total)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := bins.NewVector(0, 0, 1)
+	for _, h := range []*Histogram{
+		BuildEquiWidth(empty, 4),
+		BuildEquiDepth(empty, 4),
+		BuildMaxDiff(empty, 4),
+		BuildCompressed(empty, 2, 4),
+		BuildVOptimal(empty, 4),
+	} {
+		if len(h.Buckets) != 0 || h.Total != 0 {
+			t.Errorf("%v: not empty: %v", h.Kind, h)
+		}
+	}
+	if top := BuildTopK(empty, 4); len(top) != 0 {
+		t.Errorf("topk of empty = %v", top)
+	}
+}
+
+func TestConstructorsRejectBadBucketCounts(t *testing.T) {
+	v := buildVec([]int64{1, 2, 3})
+	for _, fn := range []func(){
+		func() { BuildEquiWidth(v, 0) },
+		func() { BuildEquiDepth(v, -1) },
+		func() { BuildMaxDiff(v, 0) },
+		func() { BuildCompressed(v, 2, 0) },
+		func() { BuildCompressed(v, -1, 4) },
+		func() { BuildVOptimal(v, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBuildFromBinsMatchesVectorPath(t *testing.T) {
+	vals := zipfValues(4000, 150, 0.7, 71)
+	vec := buildVec(vals)
+	nz := vec.NonZero()
+	for _, kind := range []Kind{EquiWidth, EquiDepth, MaxDiff, Compressed, VOptimal} {
+		got := BuildFromBins(nz, kind, 12, 4)
+		var want *Histogram
+		switch kind {
+		case EquiWidth:
+			want = BuildEquiWidth(vec, 12)
+		case EquiDepth:
+			want = BuildEquiDepth(vec, 12)
+		case MaxDiff:
+			want = BuildMaxDiff(vec, 12)
+		case Compressed:
+			want = BuildCompressed(vec, 4, 12)
+		case VOptimal:
+			want = BuildVOptimal(vec, 12)
+		}
+		if len(got.Buckets) != len(want.Buckets) {
+			t.Errorf("%v: bucket count %d != %d", kind, len(got.Buckets), len(want.Buckets))
+			continue
+		}
+		for i := range want.Buckets {
+			if got.Buckets[i] != want.Buckets[i] {
+				t.Errorf("%v: bucket %d differs", kind, i)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown kind should panic")
+		}
+	}()
+	BuildFromBins(nz, Kind(99), 4, 2)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := BuildCompressed(buildVec([]int64{1, 1, 1, 2, 3}), 1, 2)
+	s := h.String()
+	for _, frag := range []string{"compressed", "total=5", "frequent=1", "buckets="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestScaleRejectsNonPositive(t *testing.T) {
+	h := BuildEquiDepth(buildVec([]int64{1, 2}), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Scale(0)
+}
+
+func TestBuildFromSortedVOptimal(t *testing.T) {
+	sorted := []int64{1, 1, 2, 3, 3, 3, 7, 7}
+	h := BuildFromSorted(sorted, VOptimal, 2, 0)
+	if h.Kind != VOptimal || len(h.Buckets) != 2 {
+		t.Errorf("got %v", h)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind should panic")
+		}
+	}()
+	BuildFromSorted(sorted, Kind(99), 2, 0)
+}
+
+func sortInt64s(v []int64) {
+	// small local helper to avoid importing sort repeatedly in tests
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package hist
+
+import "streamhist/internal/bins"
+
+// TopFrequency is the Oracle-style "TopK representation on the data" that
+// §6.3 lists among the statistics commercial engines gather: when a small
+// number of distinct values dominates the column, the engine stores only
+// their exact frequencies plus aggregate residual information — no buckets
+// at all.
+const TopFrequency Kind = VOptimal + 1
+
+// topFrequencyName extends Kind.String (kept here, next to the kind).
+func topFrequencyName(k Kind) (string, bool) {
+	if k == TopFrequency {
+		return "top-frequency", true
+	}
+	return "", false
+}
+
+// BuildTopFrequency constructs a top-frequency histogram with n entries.
+// Following Oracle's validity rule, the construction is only considered
+// applicable when the top n values cover at least a (1 - 1/n) fraction of
+// the rows; ok reports whether that held (the histogram is returned either
+// way, so callers can inspect the coverage).
+func BuildTopFrequency(v *bins.Vector, n int) (h *Histogram, ok bool) {
+	if n <= 0 {
+		panic("hist: top-frequency requires a positive entry count")
+	}
+	nz := v.NonZero()
+	h = &Histogram{Kind: TopFrequency, Total: v.Total(), DistinctTotal: int64(len(nz))}
+	if len(nz) == 0 {
+		return h, false
+	}
+	h.Frequent = topKOfBins(nz, n)
+	var covered int64
+	for _, f := range h.Frequent {
+		covered += f.Count
+	}
+	threshold := float64(v.Total()) * (1 - 1/float64(n))
+	return h, float64(covered) >= threshold
+}
+
+// residual returns the row and distinct counts not covered by the frequent
+// list.
+func (h *Histogram) residual() (rows, distinct int64) {
+	rows = h.Total
+	for _, f := range h.Frequent {
+		rows -= f.Count
+	}
+	distinct = h.DistinctTotal - int64(len(h.Frequent))
+	return rows, distinct
+}

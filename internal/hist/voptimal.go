@@ -1,0 +1,124 @@
+package hist
+
+import "streamhist/internal/bins"
+
+// BuildVOptimal constructs the exact V-optimal histogram of Poosala et al.:
+// bucket boundaries are chosen to minimise the sum over buckets of the
+// within-bucket variance of bin frequencies (the SSE objective). The paper
+// notes this histogram is "prohibitively expensive" to compute (§3) — the
+// dynamic program below is O(m²·b) in the number of distinct values m, so we
+// use it only as an accuracy yardstick on modest cardinalities, never inside
+// the accelerator.
+func BuildVOptimal(v *bins.Vector, b int) *Histogram {
+	validateRequest("v-optimal", b)
+	nz := v.NonZero()
+	h := &Histogram{Kind: VOptimal, Total: v.Total(), DistinctTotal: int64(len(nz))}
+	m := len(nz)
+	if m == 0 {
+		return h
+	}
+	if b > m {
+		b = m
+	}
+
+	// Prefix sums of counts and squared counts let us evaluate the SSE of
+	// any candidate bucket [i, j) in O(1):
+	//   sse(i,j) = sumSq - sum² / n
+	prefix := make([]float64, m+1)
+	prefixSq := make([]float64, m+1)
+	for i, bin := range nz {
+		c := float64(bin.Count)
+		prefix[i+1] = prefix[i] + c
+		prefixSq[i+1] = prefixSq[i] + c*c
+	}
+	sse := func(i, j int) float64 {
+		n := float64(j - i)
+		s := prefix[j] - prefix[i]
+		sq := prefixSq[j] - prefixSq[i]
+		return sq - s*s/n
+	}
+
+	const inf = 1e308
+	// cost[k][j]: minimal SSE covering the first j bins with k buckets.
+	// back[k][j]: the start index of the last bucket in that solution.
+	cost := make([][]float64, b+1)
+	back := make([][]int, b+1)
+	for k := 0; k <= b; k++ {
+		cost[k] = make([]float64, m+1)
+		back[k] = make([]int, m+1)
+		for j := range cost[k] {
+			cost[k][j] = inf
+		}
+	}
+	cost[0][0] = 0
+	for k := 1; k <= b; k++ {
+		for j := k; j <= m; j++ {
+			for i := k - 1; i < j; i++ {
+				if cost[k-1][i] >= inf {
+					continue
+				}
+				c := cost[k-1][i] + sse(i, j)
+				if c < cost[k][j] {
+					cost[k][j] = c
+					back[k][j] = i
+				}
+			}
+		}
+	}
+
+	// Recover boundaries from the backtracking table.
+	cuts := make([]int, 0, b)
+	j := m
+	for k := b; k > 0; k-- {
+		i := back[k][j]
+		cuts = append(cuts, i)
+		j = i
+	}
+	// cuts is descending start indices; rebuild buckets in order.
+	for k := len(cuts) - 1; k >= 0; k-- {
+		start := cuts[k]
+		end := m
+		if k > 0 {
+			end = cuts[k-1]
+		}
+		bkt := Bucket{Low: nz[start].Value, High: nz[end-1].Value}
+		for i := start; i < end; i++ {
+			bkt.Count += nz[i].Count
+			bkt.Distinct++
+		}
+		h.Buckets = append(h.Buckets, bkt)
+	}
+	return h
+}
+
+// SSE computes the V-optimal objective of a histogram against the true bin
+// frequencies: the sum over buckets of within-bucket variance of the counts
+// of distinct values. Lower is better; the V-optimal histogram minimises it.
+func SSE(h *Histogram, v *bins.Vector) float64 {
+	nz := v.NonZero()
+	// Exact frequent values contribute zero error.
+	inTop := make(map[int64]bool, len(h.Frequent))
+	for _, f := range h.Frequent {
+		inTop[f.Value] = true
+	}
+	total := 0.0
+	i := 0
+	for _, bkt := range h.Buckets {
+		// Collect the true counts of the bins this bucket covers.
+		var sum, sq float64
+		var n float64
+		for i < len(nz) && nz[i].Value <= bkt.High {
+			if nz[i].Value >= bkt.Low && !inTop[nz[i].Value] {
+				c := float64(nz[i].Count)
+				sum += c
+				sq += c * c
+				n++
+			}
+			i++
+		}
+		if n > 0 {
+			total += sq - sum*sum/n
+		}
+	}
+	return total
+}

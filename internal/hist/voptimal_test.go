@@ -1,0 +1,131 @@
+package hist
+
+import (
+	"testing"
+
+	"streamhist/internal/bins"
+)
+
+// bruteForceVOptimalSSE enumerates all boundary placements to find the true
+// minimum SSE for small inputs.
+func bruteForceVOptimalSSE(nz []bins.Bin, b int) float64 {
+	m := len(nz)
+	if b >= m {
+		return 0
+	}
+	best := 1e308
+	// Choose b-1 boundaries out of m-1 gaps via recursive enumeration.
+	var rec func(start, left int, cuts []int)
+	sseOf := func(cuts []int) float64 {
+		total := 0.0
+		prev := 0
+		bounds := append(append([]int(nil), cuts...), m)
+		for _, end := range bounds {
+			var sum, sq, n float64
+			for i := prev; i < end; i++ {
+				c := float64(nz[i].Count)
+				sum += c
+				sq += c * c
+				n++
+			}
+			if n > 0 {
+				total += sq - sum*sum/n
+			}
+			prev = end
+		}
+		return total
+	}
+	rec = func(start, left int, cuts []int) {
+		if left == 0 {
+			if s := sseOf(cuts); s < best {
+				best = s
+			}
+			return
+		}
+		for c := start; c <= m-left; c++ {
+			rec(c+1, left-1, append(cuts, c))
+		}
+	}
+	rec(1, b-1, nil)
+	return best
+}
+
+func TestVOptimalMatchesBruteForce(t *testing.T) {
+	vals := []int64{1, 1, 1, 2, 5, 5, 5, 5, 6, 9, 9, 9, 9, 9, 9, 10}
+	vec := buildVec(vals)
+	for b := 1; b <= 4; b++ {
+		h := BuildVOptimal(vec, b)
+		got := SSE(h, vec)
+		want := bruteForceVOptimalSSE(vec.NonZero(), b)
+		if got-want > 1e-6 {
+			t.Errorf("b=%d: SSE %v, brute force %v", b, got, want)
+		}
+	}
+}
+
+func TestVOptimalIsOptimalAmongAllKinds(t *testing.T) {
+	// Poosala et al.: v-optimal minimises SSE over all histograms with the
+	// same bucket budget. Compare against our other constructions.
+	vals := zipfValues(8000, 60, 0.9, 41)
+	vec := buildVec(vals)
+	const b = 8
+	vopt := SSE(BuildVOptimal(vec, b), vec)
+	for name, h := range map[string]*Histogram{
+		"equi-width": BuildEquiWidth(vec, b),
+		"equi-depth": BuildEquiDepth(vec, b),
+		"max-diff":   BuildMaxDiff(vec, b),
+	} {
+		if s := SSE(h, vec); s < vopt-1e-6 {
+			t.Errorf("%s SSE %v beats v-optimal %v", name, s, vopt)
+		}
+	}
+}
+
+func TestVOptimalBucketCount(t *testing.T) {
+	vals := zipfValues(2000, 40, 0.5, 42)
+	vec := buildVec(vals)
+	h := BuildVOptimal(vec, 6)
+	if len(h.Buckets) != 6 {
+		t.Errorf("buckets = %d, want 6", len(h.Buckets))
+	}
+	if sumBuckets(h) != int64(len(vals)) {
+		t.Errorf("mass = %d", sumBuckets(h))
+	}
+	// More buckets than distinct values: one bucket per value, SSE 0.
+	h2 := BuildVOptimal(vec, 1000)
+	if SSE(h2, vec) != 0 {
+		t.Errorf("per-value buckets should have zero SSE, got %v", SSE(h2, vec))
+	}
+}
+
+func TestVOptimalSingleBucket(t *testing.T) {
+	vals := []int64{1, 2, 2, 3, 3, 3}
+	vec := buildVec(vals)
+	h := BuildVOptimal(vec, 1)
+	if len(h.Buckets) != 1 {
+		t.Fatalf("buckets = %d", len(h.Buckets))
+	}
+	// Counts 1,2,3: mean 2, SSE = 1+0+1 = 2.
+	if got := SSE(h, vec); got != 2 {
+		t.Errorf("SSE = %v, want 2", got)
+	}
+}
+
+func TestSSEIgnoresFrequentValues(t *testing.T) {
+	// Exact frequent entries contribute zero error, so a Compressed
+	// histogram whose only bucket content is uniform has SSE 0.
+	vals := make([]int64, 0)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, 7)
+	}
+	for v := int64(0); v < 5; v++ {
+		for c := 0; c < 10; c++ {
+			vals = append(vals, v)
+		}
+	}
+	vec := buildVec(vals)
+	h := BuildCompressed(vec, 1, 1)
+	if got := SSE(h, vec); got != 0 {
+		t.Errorf("SSE = %v, want 0 (uniform residual, exact heavy hitter)", got)
+	}
+}

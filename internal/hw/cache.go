@@ -1,0 +1,96 @@
+package hw
+
+// Cache models the small on-chip write-through cache of §5.1.3. Its job in
+// the hardware is to forward the values of recently accessed memory lines
+// between pipeline stages so that "read after write" conflicts never stall
+// the binning pipeline, making throughput independent of data skew.
+//
+// The cache stores whole memory lines in a block RAM indexed through a
+// lookup table of line addresses — modelled here as a fixed-size
+// FIFO-replacement table, which matches the hardware's "items currently in
+// the pipeline" framing (the set of recently touched lines within the
+// memory-latency window).
+type Cache struct {
+	lines   int
+	order   []int64         // insertion order of resident line addresses
+	present map[int64]int64 // line address -> generation tag (for stats only)
+
+	hits   int64
+	misses int64
+	gen    int64
+}
+
+// NewCache builds a cache holding sizeBytes worth of memory lines of
+// lineBytes each. A size of zero disables the cache (every access misses).
+func NewCache(sizeBytes, lineBytes int) *Cache {
+	if lineBytes <= 0 {
+		panic("hw: cache line size must be positive")
+	}
+	n := sizeBytes / lineBytes
+	return &Cache{
+		lines:   n,
+		present: make(map[int64]int64, n+1),
+	}
+}
+
+// Lines returns the capacity in memory lines.
+func (c *Cache) Lines() int { return c.lines }
+
+// Lookup reports whether the line is resident, counting a hit or a miss.
+func (c *Cache) Lookup(lineAddr int64) bool {
+	if _, ok := c.present[lineAddr]; ok {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports residence without touching the statistics.
+func (c *Cache) Contains(lineAddr int64) bool {
+	_, ok := c.present[lineAddr]
+	return ok
+}
+
+// Insert makes the line resident (write-through: the caller has also issued
+// the memory write). The oldest line is evicted when at capacity.
+func (c *Cache) Insert(lineAddr int64) {
+	if c.lines == 0 {
+		return
+	}
+	if _, ok := c.present[lineAddr]; ok {
+		c.gen++
+		c.present[lineAddr] = c.gen
+		return
+	}
+	if len(c.order) >= c.lines {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.present, evict)
+	}
+	c.order = append(c.order, lineAddr)
+	c.gen++
+	c.present[lineAddr] = c.gen
+}
+
+// Hits returns the number of lookup hits so far.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of lookup misses so far.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// HitRate returns hits / (hits + misses), or 0 when no lookups happened.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	c.order = c.order[:0]
+	c.present = make(map[int64]int64, c.lines+1)
+	c.hits, c.misses, c.gen = 0, 0, 0
+}

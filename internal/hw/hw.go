@@ -1,0 +1,162 @@
+// Package hw models the hardware substrate of the prototype platform from
+// §6 of the paper: a custom circuit clocked at 150 MHz on a Virtex-6,
+// attached to DDR3 memory whose controller sustains 40 million random
+// accesses per second in the worst case with an average access latency of
+// about 60 cycles (0.4 µs). Bins are 64-bit counters and memory lines pack
+// eight bins (§5.1.2).
+//
+// Nothing here executes on real hardware; the package provides the clock
+// and memory arithmetic plus cycle-faithful FIFO/cache building blocks that
+// internal/core assembles into the statistical circuit. The constraints the
+// paper's design works around — long memory latency, a bounded op rate,
+// tiny on-chip state — are enforced by these models, which is what makes
+// the reproduced throughput and latency curves meaningful.
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default platform parameters, taken from §6 of the paper.
+const (
+	// DefaultClockHz is the circuit clock (150 MHz).
+	DefaultClockHz = 150_000_000
+	// DefaultMemLatencyCycles is the average off-chip access latency
+	// ("around 0.4µs (60 cycles at 150 MHz)", §4).
+	DefaultMemLatencyCycles = 60
+	// DefaultMemRandomOpsPerSec is the worst-case number of small random
+	// read-or-write operations the memory controller sustains per second
+	// (§6.1: "40 million read or write accesses per second in the worst
+	// case").
+	DefaultMemRandomOpsPerSec = 40_000_000
+	// DefaultMemBurstOpsPerSec is the faster rate observed for accesses to
+	// recently touched lines (§6.1: "when accessing rows in a less random
+	// manner, the memory also exhibits a higher access speed"). With one
+	// write per cache-hitting update this yields the measured best-case
+	// Binner rate of 50 million values per second (Table 1).
+	DefaultMemBurstOpsPerSec = 50_000_000
+	// DefaultBinsPerLine is how many 64-bit bins one memory line packs
+	// (§5.1.2: "memory lines pack multiple bins (in our implementation
+	// eight)").
+	DefaultBinsPerLine = 8
+	// DefaultCacheBytes is the size of the on-chip write-through cache
+	// (§5.1.3: "a small amount of on-chip memory ... (1KB)").
+	DefaultCacheBytes = 1024
+	// DefaultScanCyclesPerBin is the worst-case delivery rate of the
+	// sequential bin scan feeding the statistic blocks: one 64-bit bin
+	// every two cycles. Together with the paper's observation that the
+	// TopK block may need two cycles per item while equi-depth needs one,
+	// this reproduces the Table 2 result-latency formulas exactly.
+	DefaultScanCyclesPerBin = 2
+	// DefaultBlockPassCycles is the per-block pass-through latency in the
+	// daisy chain (§6.3: "In our implementation this latency is 2 cycles
+	// per block").
+	DefaultBlockPassCycles = 2
+	// LineBytes is the size of one memory line (8 bins × 8 bytes).
+	LineBytes = DefaultBinsPerLine * 8
+)
+
+// Clock converts between cycle counts and wall-clock time at a fixed
+// frequency.
+type Clock struct {
+	Hz int64
+}
+
+// NewClock returns a clock at the given frequency; hz must be positive.
+func NewClock(hz int64) Clock {
+	if hz <= 0 {
+		panic("hw: clock frequency must be positive")
+	}
+	return Clock{Hz: hz}
+}
+
+// Seconds converts a cycle count to seconds.
+func (c Clock) Seconds(cycles int64) float64 { return float64(cycles) / float64(c.Hz) }
+
+// Duration converts a cycle count to a time.Duration.
+func (c Clock) Duration(cycles int64) time.Duration {
+	return time.Duration(float64(cycles) / float64(c.Hz) * float64(time.Second))
+}
+
+// Cycles converts a duration to (rounded-down) cycles.
+func (c Clock) Cycles(d time.Duration) int64 {
+	return int64(d.Seconds() * float64(c.Hz))
+}
+
+// String formats the clock.
+func (c Clock) String() string { return fmt.Sprintf("%.0f MHz", float64(c.Hz)/1e6) }
+
+// MemParams captures the off-chip memory model.
+type MemParams struct {
+	// LatencyCycles is the average access latency in clock cycles.
+	LatencyCycles int64
+	// RandomOpsPerSec is the worst-case sustainable rate of small random
+	// read/write operations.
+	RandomOpsPerSec int64
+	// BurstOpsPerSec is the higher op rate for accesses with locality
+	// (recently touched lines).
+	BurstOpsPerSec int64
+	// BinsPerLine is how many bins one memory line holds.
+	BinsPerLine int
+}
+
+// DefaultMemParams returns the Maxeler-box DDR3 model from the paper.
+func DefaultMemParams() MemParams {
+	return MemParams{
+		LatencyCycles:   DefaultMemLatencyCycles,
+		RandomOpsPerSec: DefaultMemRandomOpsPerSec,
+		BurstOpsPerSec:  DefaultMemBurstOpsPerSec,
+		BinsPerLine:     DefaultBinsPerLine,
+	}
+}
+
+// OpsCyclePeriod returns the minimum number of clock cycles between two
+// memory operations under the op-rate bound for the given clock.
+func (m MemParams) OpsCyclePeriod(clk Clock) float64 {
+	return float64(clk.Hz) / float64(m.RandomOpsPerSec)
+}
+
+// FIFO is a bounded queue of int64 payloads, the decoupling element between
+// pipeline stages (the read→update queue of §5.1.2). A capacity of zero
+// means unbounded.
+type FIFO struct {
+	buf []int64
+	cap int
+}
+
+// NewFIFO creates a FIFO with the given capacity (0 = unbounded).
+func NewFIFO(capacity int) *FIFO { return &FIFO{cap: capacity} }
+
+// Len returns the number of queued items.
+func (f *FIFO) Len() int { return len(f.buf) }
+
+// Full reports whether the FIFO is at capacity.
+func (f *FIFO) Full() bool { return f.cap > 0 && len(f.buf) >= f.cap }
+
+// Push enqueues v; it reports false when the FIFO is full.
+func (f *FIFO) Push(v int64) bool {
+	if f.Full() {
+		return false
+	}
+	f.buf = append(f.buf, v)
+	return true
+}
+
+// Pop dequeues the oldest item; ok is false when empty.
+func (f *FIFO) Pop() (v int64, ok bool) {
+	if len(f.buf) == 0 {
+		return 0, false
+	}
+	v = f.buf[0]
+	f.buf = f.buf[1:]
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (f *FIFO) Peek() (v int64, ok bool) {
+	if len(f.buf) == 0 {
+		return 0, false
+	}
+	return f.buf[0], true
+}

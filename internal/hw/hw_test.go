@@ -1,0 +1,185 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockConversions(t *testing.T) {
+	clk := NewClock(150_000_000)
+	if s := clk.Seconds(150_000_000); s != 1 {
+		t.Errorf("Seconds(1s of cycles) = %v", s)
+	}
+	if d := clk.Duration(150); d != time.Microsecond {
+		t.Errorf("Duration(150 cycles) = %v, want 1µs", d)
+	}
+	if c := clk.Cycles(time.Second); c != 150_000_000 {
+		t.Errorf("Cycles(1s) = %d", c)
+	}
+	if clk.String() != "150 MHz" {
+		t.Errorf("String = %q", clk.String())
+	}
+}
+
+func TestClockRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestMemParamsDefaults(t *testing.T) {
+	m := DefaultMemParams()
+	if m.LatencyCycles != 60 {
+		t.Errorf("latency = %d", m.LatencyCycles)
+	}
+	if m.RandomOpsPerSec != 40_000_000 {
+		t.Errorf("random ops = %d", m.RandomOpsPerSec)
+	}
+	if m.BinsPerLine != 8 {
+		t.Errorf("bins/line = %d", m.BinsPerLine)
+	}
+	clk := NewClock(DefaultClockHz)
+	if p := m.OpsCyclePeriod(clk); p != 3.75 {
+		t.Errorf("op period = %v cycles, want 3.75", p)
+	}
+	// The measured 0.4µs latency of §4: 60 cycles at 150 MHz.
+	if d := clk.Duration(m.LatencyCycles); d != 400*time.Nanosecond {
+		t.Errorf("latency duration = %v, want 400ns", d)
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	f := NewFIFO(0)
+	for i := int64(0); i < 10; i++ {
+		if !f.Push(i) {
+			t.Fatal("unbounded FIFO rejected push")
+		}
+	}
+	if f.Len() != 10 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	if v, ok := f.Peek(); !ok || v != 0 {
+		t.Errorf("Peek = %d, %v", v, ok)
+	}
+	for i := int64(0); i < 10; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("Pop on empty FIFO succeeded")
+	}
+	if _, ok := f.Peek(); ok {
+		t.Error("Peek on empty FIFO succeeded")
+	}
+}
+
+func TestFIFOCapacity(t *testing.T) {
+	f := NewFIFO(2)
+	if !f.Push(1) || !f.Push(2) {
+		t.Fatal("pushes under capacity failed")
+	}
+	if f.Push(3) {
+		t.Error("push over capacity succeeded")
+	}
+	if !f.Full() {
+		t.Error("Full() false at capacity")
+	}
+	f.Pop()
+	if !f.Push(3) {
+		t.Error("push after pop failed")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1024, LineBytes) // 16 lines
+	if c.Lines() != 16 {
+		t.Fatalf("lines = %d", c.Lines())
+	}
+	if c.Lookup(1) {
+		t.Error("cold lookup hit")
+	}
+	c.Insert(1)
+	if !c.Lookup(1) {
+		t.Error("resident lookup missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheEvictionFIFO(t *testing.T) {
+	c := NewCache(2*LineBytes, LineBytes) // 2 lines
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3) // evicts 1
+	if c.Contains(1) {
+		t.Error("line 1 should have been evicted")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Error("lines 2 and 3 should be resident")
+	}
+	// Re-inserting a resident line must not evict anything.
+	c.Insert(2)
+	if !c.Contains(3) {
+		t.Error("refresh of resident line evicted another line")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, LineBytes)
+	c.Insert(1)
+	if c.Lookup(1) {
+		t.Error("zero-size cache should always miss")
+	}
+	if c.Lines() != 0 {
+		t.Errorf("lines = %d", c.Lines())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(1024, LineBytes)
+	c.Insert(7)
+	c.Lookup(7)
+	c.Reset()
+	if c.Contains(7) || c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestCacheHitRateEmpty(t *testing.T) {
+	c := NewCache(1024, LineBytes)
+	if c.HitRate() != 0 {
+		t.Error("hit rate of untouched cache should be 0")
+	}
+}
+
+func TestCacheRejectsBadLineSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCache(1024, 0)
+}
+
+// TestCacheCoversLatencyWindow checks the §5.1.3 sizing argument: the 1 KB
+// cache (16 lines of 8 bins) can hold the maximum number of distinct lines
+// touched within the memory access latency window. At the worst-case rate
+// of one item per 7.5 cycles (20 M/s) and 60 cycles latency, at most 8
+// items are in flight — at most 8 distinct lines, comfortably below 16.
+func TestCacheCoversLatencyWindow(t *testing.T) {
+	itemsInFlight := int(float64(DefaultMemLatencyCycles) /
+		(float64(DefaultClockHz) / float64(DefaultMemRandomOpsPerSec) * 2))
+	lines := DefaultCacheBytes / LineBytes
+	if itemsInFlight > lines {
+		t.Errorf("latency window holds %d items but cache has only %d lines", itemsInFlight, lines)
+	}
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/core"
+	"streamhist/internal/hist"
+	"streamhist/internal/page"
+	"streamhist/internal/tpch"
+)
+
+func TestMultiColumnScanMatchesSingleColumnScans(t *testing.T) {
+	rel := tpch.Lineitem(15000, 1, 21)
+	columns := []string{"l_quantity", "l_extendedprice", "l_partkey"}
+	results, err := MultiColumnScan(rel, columns, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, col := range columns {
+		res := results[col]
+		if res.Bins.Total() != int64(rel.NumRows()) {
+			t.Errorf("%s: binned %d values", col, res.Bins.Total())
+		}
+		truth := bins.Build(rel.ColumnByName(col), 1)
+		want := hist.BuildEquiDepth(truth, 256)
+		if len(res.EquiDepth.Buckets) != len(want.Buckets) {
+			t.Fatalf("%s: buckets %d != %d", col, len(res.EquiDepth.Buckets), len(want.Buckets))
+		}
+		for i := range want.Buckets {
+			if res.EquiDepth.Buckets[i] != want.Buckets[i] {
+				t.Errorf("%s: bucket %d differs", col, i)
+			}
+		}
+	}
+}
+
+func TestMultiColumnScanHostIntact(t *testing.T) {
+	rel := tpch.Lineitem(8000, 1, 22)
+	var want []byte
+	for _, pg := range page.Encode(rel) {
+		want = append(want, pg.Bytes()...)
+	}
+	var host bytes.Buffer
+	if _, err := MultiColumnScan(rel, []string{"l_quantity", "l_tax"}, &host, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(host.Bytes(), want) {
+		t.Fatal("host stream altered by multi-column tap")
+	}
+}
+
+func TestMultiColumnScanPerColumnConfig(t *testing.T) {
+	rel := tpch.Lineitem(5000, 1, 23)
+	results, err := MultiColumnScan(rel, []string{"l_quantity"}, io.Discard,
+		func(col string, c core.Config) core.Config {
+			c.EquiDepthBuckets = 10
+			c.TopK = 3
+			c.MaxDiffBuckets = 0
+			c.CompressedBuckets = 0
+			return c
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results["l_quantity"]
+	if len(res.TopK) != 3 {
+		t.Errorf("topk = %d", len(res.TopK))
+	}
+	if res.MaxDiff != nil {
+		t.Error("disabled block present")
+	}
+}
+
+func TestMultiColumnScanValidation(t *testing.T) {
+	rel := tpch.Lineitem(100, 1, 24)
+	if _, err := MultiColumnScan(rel, nil, nil, nil); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if _, err := MultiColumnScan(rel, []string{"nope"}, nil, nil); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestNewMultiTapValidation(t *testing.T) {
+	if _, err := NewMultiTap(bytes.NewReader(nil), nil, nil); err == nil {
+		t.Error("empty tap accepted")
+	}
+	pre, _ := core.RangeFor(0, 10, 1)
+	b := core.NewBinner(core.DefaultBinnerConfig(), pre)
+	if _, err := NewMultiTap(bytes.NewReader(nil), []core.ColumnSpec{{}}, []*core.Binner{b, b}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

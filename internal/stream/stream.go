@@ -1,0 +1,278 @@
+// Package stream assembles the full data path of Figure 9: storage emits a
+// byte stream of database pages, the host consumes it unchanged through a
+// cut-through path, and a Splitter feeds a byte-identical copy to the
+// statistical circuit. Unlike internal/core's value-level entry points,
+// everything here operates on real bytes through io.Reader, so the
+// "implicit accelerator" property — the host sees exactly what storage
+// sent, with only wire latency added — is checked end to end.
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"streamhist/internal/core"
+	"streamhist/internal/hist"
+	"streamhist/internal/hw"
+	"streamhist/internal/page"
+	"streamhist/internal/table"
+)
+
+// PagesReader exposes a relation's page images as one contiguous byte
+// stream — the storage side of the path.
+type PagesReader struct {
+	pages []*page.Page
+	idx   int
+	off   int
+}
+
+// NewPagesReader returns a reader over the relation's encoded pages.
+func NewPagesReader(rel *table.Relation) *PagesReader {
+	return &PagesReader{pages: page.Encode(rel)}
+}
+
+// Read implements io.Reader.
+func (r *PagesReader) Read(p []byte) (int, error) {
+	if r.idx >= len(r.pages) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.pages[r.idx].Bytes()[r.off:])
+	r.off += n
+	if r.off == page.Size {
+		r.idx++
+		r.off = 0
+	}
+	return n, nil
+}
+
+// TotalBytes returns the size of the whole stream.
+func (r *PagesReader) TotalBytes() int64 { return int64(len(r.pages)) * page.Size }
+
+// Tap is the Splitter: an io.Reader that relays the source unchanged to the
+// host while pushing every byte through the Parser and Binner on the side.
+// The relay path does no transformation whatsoever — the returned bytes are
+// the source's bytes.
+type Tap struct {
+	src    io.Reader
+	parser *core.Parser
+	binner *core.Binner
+	vals   []int64 // scratch reused across reads
+
+	bytesRelayed int64
+	parseErr     error
+}
+
+// NewTap wires a tap over src for the given column and binner.
+func NewTap(src io.Reader, spec core.ColumnSpec, binner *core.Binner) *Tap {
+	return &Tap{src: src, parser: core.NewParser(spec), binner: binner}
+}
+
+// Read implements io.Reader: the host's view of the stream.
+func (t *Tap) Read(p []byte) (int, error) {
+	n, err := t.src.Read(p)
+	if n > 0 {
+		t.bytesRelayed += int64(n)
+		// Side path: parse the copy and push extracted values into the
+		// binner. A parse error never disturbs the host's stream — the
+		// accelerator fails open (§4: it must never slow down or corrupt
+		// the regular flow of data).
+		if t.parseErr == nil {
+			t.vals = t.vals[:0]
+			vals, perr := t.parser.Feed(p[:n], t.vals)
+			if perr != nil {
+				t.parseErr = perr
+			} else {
+				t.vals = vals
+				t.binner.PushAll(vals)
+			}
+		}
+	}
+	return n, err
+}
+
+// BytesRelayed returns how many bytes the host has received.
+func (t *Tap) BytesRelayed() int64 { return t.bytesRelayed }
+
+// ParseErr returns the side path's error, if any (the host stream is
+// unaffected either way).
+func (t *Tap) ParseErr() error { return t.parseErr }
+
+// ScanResult is what a completed data-path scan yields.
+type ScanResult struct {
+	// HostBytes is the number of bytes delivered to the host.
+	HostBytes int64
+	// Results are the accelerator outputs (nil histograms for disabled
+	// blocks), identical in content to core.Circuit.Process.
+	Results *core.Results
+	// TransferSeconds is the stream time over the configured link;
+	// AddedLatencySeconds is the splitter+I/O delay the host observed on
+	// top of it (size-independent).
+	TransferSeconds     float64
+	AddedLatencySeconds float64
+	// AcceleratorKeptUp reports whether the Binner's sustained rate
+	// matched the link's value arrival rate — the §4 requirement that the
+	// Binner "handle all input data without dropping rows".
+	AcceleratorKeptUp bool
+}
+
+// Link models the transmission medium between storage and host.
+type Link struct {
+	Name        string
+	BytesPerSec float64
+}
+
+// Common links of the paper's discussion.
+var (
+	// GigabitEthernet is the Fig 22 reference medium.
+	GigabitEthernet = Link{Name: "1GbE", BytesPerSec: 1e9 / 8}
+	// TenGbE is the §7 target rate.
+	TenGbE = Link{Name: "10GbE", BytesPerSec: 10e9 / 8}
+	// PCIeGen1x8 is the prototype's host attachment (§6).
+	PCIeGen1x8 = Link{Name: "PCIe Gen1 x8", BytesPerSec: 2e9}
+)
+
+// DataPath couples a relation, a column choice, and a link.
+type DataPath struct {
+	Rel    *table.Relation
+	Column string
+	Link   Link
+	Config core.Config
+}
+
+// NewDataPath builds a path with the default accelerator configuration for
+// the column's observed value range.
+func NewDataPath(rel *table.Relation, column string, link Link) (*DataPath, error) {
+	spec, err := core.SpecFor(rel.Schema, column)
+	if err != nil {
+		return nil, err
+	}
+	col := rel.ColumnByName(column)
+	if len(col) == 0 {
+		return nil, fmt.Errorf("stream: column %q is empty", column)
+	}
+	min, max := col[0], col[0]
+	for _, v := range col {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return &DataPath{Rel: rel, Column: column, Link: link, Config: core.DefaultConfig(spec, min, max)}, nil
+}
+
+// Scan streams the relation to the host through the tap, writing the
+// host-received bytes into hostSink (pass io.Discard when only the
+// statistics matter), and returns the accelerator's results plus the path
+// timing. The readBuf size shapes the chunking; any size works.
+func (d *DataPath) Scan(hostSink io.Writer, readBufBytes int) (*ScanResult, error) {
+	if readBufBytes <= 0 {
+		readBufBytes = 64 << 10
+	}
+	pre, err := core.RangeFor(d.Config.Min, d.Config.Max, d.Config.Divisor)
+	if err != nil {
+		return nil, err
+	}
+	binner := core.NewBinner(d.Config.Binner, pre)
+	src := NewPagesReader(d.Rel)
+	tap := NewTap(src, d.Config.Column, binner)
+
+	buf := make([]byte, readBufBytes)
+	if _, err := io.CopyBuffer(hostSink, onlyReader{tap}, buf); err != nil {
+		return nil, fmt.Errorf("stream: host copy: %w", err)
+	}
+	if err := tap.ParseErr(); err != nil {
+		return nil, fmt.Errorf("stream: side path: %w", err)
+	}
+
+	vec, bstats := binner.Finish()
+	blocks := blocksFor(d.Config, vec)
+	chain := core.NewScanner().Run(vec, blocks.list...)
+
+	clk := d.Config.Binner.Clock
+	if clk.Hz == 0 {
+		clk = hw.NewClock(hw.DefaultClockHz)
+	}
+	res := &core.Results{
+		Bins:        vec,
+		BinnerStats: bstats,
+		Chain:       chain,
+	}
+	res.BinningSeconds = bstats.Seconds(clk)
+	res.HistogramSeconds = chain.Seconds(clk)
+	res.TotalSeconds = d.Config.ParseLatencyMicros*1e-6 + res.BinningSeconds + res.HistogramSeconds
+	res.HostPathAddedSeconds = d.Config.Splitter.AddedLatencySeconds()
+	blocks.fill(res, vec)
+
+	transfer := float64(tap.BytesRelayed()) / d.Link.BytesPerSec
+	// The link delivers rows at bytes/s ÷ rowWidth; the accelerator sees
+	// one value per row. It keeps up when its sustained rate is at least
+	// that arrival rate.
+	rowWidth := float64(d.Rel.Schema.RowWidth())
+	arrival := d.Link.BytesPerSec / rowWidth
+	kept := bstats.ValuesPerSecond(clk) >= arrival || bstats.Items == 0
+
+	return &ScanResult{
+		HostBytes:           tap.BytesRelayed(),
+		Results:             res,
+		TransferSeconds:     transfer,
+		AddedLatencySeconds: d.Config.Splitter.AddedLatencySeconds(),
+		AcceleratorKeptUp:   kept,
+	}, nil
+}
+
+// onlyReader hides any WriteTo/ReadFrom fast paths so the copy really goes
+// through Tap.Read chunk by chunk.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// blockSet instantiates and later harvests the configured blocks.
+type blockSet struct {
+	list []core.Block
+	topk *core.TopKBlock
+	ed   *core.EquiDepthBlock
+	md   *core.MaxDiffBlock
+	comp *core.CompressedBlock
+}
+
+func blocksFor(cfg core.Config, vec interface{ Total() int64 }) *blockSet {
+	s := &blockSet{}
+	if cfg.TopK > 0 {
+		s.topk = core.NewTopKBlock(cfg.TopK)
+		s.list = append(s.list, s.topk)
+	}
+	if cfg.EquiDepthBuckets > 0 {
+		s.ed = core.NewEquiDepthBlock(cfg.EquiDepthBuckets, vec.Total())
+		s.list = append(s.list, s.ed)
+	}
+	if cfg.MaxDiffBuckets > 0 {
+		s.md = core.NewMaxDiffBlock(cfg.MaxDiffBuckets)
+		s.list = append(s.list, s.md)
+	}
+	if cfg.CompressedBuckets > 0 && cfg.CompressedT > 0 {
+		s.comp = core.NewCompressedBlock(cfg.CompressedT, cfg.CompressedBuckets, vec.Total())
+		s.list = append(s.list, s.comp)
+	}
+	return s
+}
+
+func (s *blockSet) fill(res *core.Results, vec interface {
+	Total() int64
+	Cardinality() int
+}) {
+	distinct := int64(vec.Cardinality())
+	if s.topk != nil {
+		res.TopK = s.topk.Result()
+	}
+	if s.ed != nil {
+		res.EquiDepth = &hist.Histogram{Kind: hist.EquiDepth, Buckets: s.ed.Result(), Total: vec.Total(), DistinctTotal: distinct}
+	}
+	if s.md != nil {
+		res.MaxDiff = &hist.Histogram{Kind: hist.MaxDiff, Buckets: s.md.Result(), Total: vec.Total(), DistinctTotal: distinct}
+	}
+	if s.comp != nil {
+		res.Compressed = &hist.Histogram{Kind: hist.Compressed, Buckets: s.comp.Buckets(), Frequent: s.comp.Frequent(), Total: vec.Total(), DistinctTotal: distinct}
+	}
+}

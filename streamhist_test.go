@@ -1,0 +1,59 @@
+package streamhist_test
+
+import (
+	"testing"
+
+	"streamhist"
+	"streamhist/internal/bins"
+	"streamhist/internal/datagen"
+	"streamhist/internal/hist"
+)
+
+func TestScanFacade(t *testing.T) {
+	vals := datagen.Take(datagen.NewZipf(1, -500, 3000, 0.8, true), 40_000)
+	res, err := streamhist.Scan(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Total() != int64(len(vals)) {
+		t.Fatalf("binned %d values, want %d", res.Bins.Total(), len(vals))
+	}
+	truth := bins.Build(vals, 1)
+	want := hist.BuildEquiDepth(truth, 256)
+	if len(res.EquiDepth.Buckets) != len(want.Buckets) {
+		t.Fatalf("buckets %d != %d", len(res.EquiDepth.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		if res.EquiDepth.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d differs", i)
+		}
+	}
+	if len(res.TopK) != 64 {
+		t.Errorf("topk = %d entries", len(res.TopK))
+	}
+	if res.MaxDiff == nil || res.Compressed == nil {
+		t.Error("missing histogram flavours")
+	}
+	if res.TotalSeconds <= 0 {
+		t.Error("no simulated timing")
+	}
+}
+
+func TestScanEmptyColumn(t *testing.T) {
+	if _, err := streamhist.Scan(nil); err == nil {
+		t.Error("empty column accepted")
+	}
+}
+
+func TestScanSingleValue(t *testing.T) {
+	res, err := streamhist.Scan([]int64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bins.Total() != 1 || res.Bins.Cardinality() != 1 {
+		t.Error("single-value scan wrong")
+	}
+	if est := res.EquiDepth.EstimateEquals(42); est != 1 {
+		t.Errorf("estimate = %v", est)
+	}
+}
