@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the full gate the serving
+# subsystem is held to: vet, build, and the whole suite under the race
+# detector (the scan server is aggressively concurrent).
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz passes over every decoder that faces attacker-controlled bytes.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/server/
+	$(GO) test -run=^$$ -fuzz=FuzzHistogramUnmarshal -fuzztime=30s ./internal/hist/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

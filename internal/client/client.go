@@ -1,0 +1,190 @@
+// Package client is the host side of the histserved wire protocol: it
+// requests table scans, consumes the raw page byte stream (the data that
+// was moving anyway), and fetches the histograms that movement produced.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"streamhist/internal/hist"
+	"streamhist/internal/server"
+)
+
+// Client is one connection to a histserved server. It is not safe for
+// concurrent use; open one Client per goroutine (the server is built for
+// many connections).
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+// Dial connects to a histserved address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return New(conn), nil
+}
+
+// New wraps an established connection (e.g. one side of a net.Pipe).
+func New(conn net.Conn) *Client {
+	return &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		timeout: time.Minute,
+	}
+}
+
+// SetTimeout bounds each request round-trip and each response frame read.
+// Zero disables deadlines.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) deadline() time.Time {
+	if c.timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.timeout)
+}
+
+// send writes one request frame.
+func (c *Client) send(typ uint8, payload []byte) error {
+	c.conn.SetWriteDeadline(c.deadline())
+	if err := server.WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recv reads one response frame, translating FrameError payloads into
+// errors that wrap the protocol sentinels.
+func (c *Client) recv() (server.Frame, error) {
+	c.conn.SetReadDeadline(c.deadline())
+	f, err := server.ReadFrame(c.br)
+	if err != nil {
+		return server.Frame{}, err
+	}
+	if f.Type == server.FrameError {
+		return server.Frame{}, server.DecodeError(f.Payload)
+	}
+	return f, nil
+}
+
+// ScanSummary reports one completed scan from the client's side.
+type ScanSummary = server.ScanSummary
+
+// Scan streams table's raw pages into sink — byte-identical to what storage
+// holds — and returns the server's end-of-scan summary. Pass column "" to
+// move the data without refreshing any statistics; pass io.Discard as sink
+// when only the side effect matters.
+func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error) {
+	req := server.EncodeScanRequest(server.ScanRequest{Table: table, Column: column})
+	if err := c.send(server.FrameScan, req); err != nil {
+		return nil, fmt.Errorf("client: sending SCAN: %w", err)
+	}
+	var received uint64
+	for {
+		f, err := c.recv()
+		if err != nil {
+			return nil, fmt.Errorf("client: SCAN %s.%s: %w", table, column, err)
+		}
+		switch f.Type {
+		case server.FramePages:
+			if len(f.Payload) == 0 {
+				return nil, fmt.Errorf("client: %w: empty pages frame", server.ErrBadFrame)
+			}
+			if _, err := sink.Write(f.Payload); err != nil {
+				return nil, fmt.Errorf("client: writing to sink: %w", err)
+			}
+			received += uint64(len(f.Payload))
+		case server.FrameScanEnd:
+			sum, err := server.DecodeScanSummary(f.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("client: SCAN summary: %w", err)
+			}
+			if sum.Bytes != received {
+				return nil, fmt.Errorf("client: server reports %d bytes, received %d", sum.Bytes, received)
+			}
+			return &sum, nil
+		default:
+			return nil, fmt.Errorf("client: %w: unexpected frame type %d in scan", server.ErrBadFrame, f.Type)
+		}
+	}
+}
+
+// Stats is a column's catalog entry as served over the wire.
+type Stats struct {
+	Table, Column string
+	// RowCount and NDistinct describe the relation at gather time.
+	RowCount  int64
+	NDistinct int64
+	// Version is the catalog's table-modification counter at gather time.
+	Version uint64
+	// Histogram is the freshest served-scan histogram.
+	Histogram *hist.Histogram
+}
+
+// Stats fetches the freshest histogram for table.column. A corrupt
+// histogram payload surfaces as an error wrapping hist.ErrCorruptHistogram,
+// never as garbage buckets.
+func (c *Client) Stats(table, column string) (*Stats, error) {
+	req := server.EncodeScanRequest(server.ScanRequest{Table: table, Column: column})
+	if err := c.send(server.FrameStats, req); err != nil {
+		return nil, fmt.Errorf("client: sending STATS: %w", err)
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, fmt.Errorf("client: STATS %s.%s: %w", table, column, err)
+	}
+	if f.Type != server.FrameStatsResult {
+		return nil, fmt.Errorf("client: %w: unexpected frame type %d in stats", server.ErrBadFrame, f.Type)
+	}
+	res, err := server.DecodeStatsResult(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: STATS payload: %w", err)
+	}
+	h := new(hist.Histogram)
+	if err := h.UnmarshalBinary(res.Histogram); err != nil {
+		return nil, fmt.Errorf("client: decoding STATS histogram for %s.%s: %w", table, column, err)
+	}
+	return &Stats{
+		Table:     table,
+		Column:    column,
+		RowCount:  res.RowCount,
+		NDistinct: res.NDistinct,
+		Version:   res.Version,
+		Histogram: h,
+	}, nil
+}
+
+// TableInfo is re-exported for callers listing the served tables.
+type TableInfo = server.TableInfo
+
+// Tables lists the relations the server is serving.
+func (c *Client) Tables() ([]TableInfo, error) {
+	if err := c.send(server.FrameList, nil); err != nil {
+		return nil, fmt.Errorf("client: sending LIST: %w", err)
+	}
+	f, err := c.recv()
+	if err != nil {
+		return nil, fmt.Errorf("client: LIST: %w", err)
+	}
+	if f.Type != server.FrameTables {
+		return nil, fmt.Errorf("client: %w: unexpected frame type %d in list", server.ErrBadFrame, f.Type)
+	}
+	tables, err := server.DecodeTableList(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: LIST payload: %w", err)
+	}
+	return tables, nil
+}

@@ -2,6 +2,7 @@ package dbms
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"streamhist/internal/hist"
@@ -90,6 +91,24 @@ func (c *Catalog) Stale(tableName, column string) bool {
 		return true
 	}
 	return s.Version < c.versions[tableName]
+}
+
+// StatsColumns returns the sorted names of tableName's columns that
+// currently have catalog entries — i.e. the columns something (an ANALYZE
+// or a served scan) has gathered statistics for.
+func (c *Catalog) StatsColumns(tableName string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cols, ok := c.stats[tableName]
+	if !ok || len(cols) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(cols))
+	for name := range cols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // EstimateEquals estimates the rows of tableName with column == v, falling

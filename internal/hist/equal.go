@@ -1,0 +1,29 @@
+package hist
+
+// Equal reports whether two histograms are exactly the same statistic: same
+// kind, totals, frequent-value list, and bucket list. Because the whole
+// construction pipeline is deterministic, two scans of the same relation
+// and column must produce Equal histograms — which is what lets a served
+// network scan be checked against the in-process data path.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h == nil || other == nil {
+		return h == other
+	}
+	if h.Kind != other.Kind || h.Total != other.Total || h.DistinctTotal != other.DistinctTotal {
+		return false
+	}
+	if len(h.Frequent) != len(other.Frequent) || len(h.Buckets) != len(other.Buckets) {
+		return false
+	}
+	for i, f := range h.Frequent {
+		if f != other.Frequent[i] {
+			return false
+		}
+	}
+	for i, b := range h.Buckets {
+		if b != other.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}

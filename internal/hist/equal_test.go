@@ -1,0 +1,60 @@
+package hist
+
+import "testing"
+
+func TestHistogramEqual(t *testing.T) {
+	base := func() *Histogram {
+		return &Histogram{
+			Kind:          Compressed,
+			Total:         100,
+			DistinctTotal: 10,
+			Frequent:      []FrequentValue{{Value: 5, Count: 40}},
+			Buckets:       []Bucket{{Low: 0, High: 9, Count: 60, Distinct: 9}},
+		}
+	}
+	a, b := base(), base()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("identical histograms compare unequal")
+	}
+	if !a.Equal(a) {
+		t.Fatal("histogram unequal to itself")
+	}
+
+	var nilH *Histogram
+	if nilH.Equal(a) || a.Equal(nilH) {
+		t.Fatal("nil compared equal to non-nil")
+	}
+	if !nilH.Equal(nil) {
+		t.Fatal("nil unequal to nil")
+	}
+
+	mutations := map[string]func(*Histogram){
+		"kind":     func(h *Histogram) { h.Kind = MaxDiff },
+		"total":    func(h *Histogram) { h.Total++ },
+		"distinct": func(h *Histogram) { h.DistinctTotal-- },
+		"frequent": func(h *Histogram) { h.Frequent[0].Count++ },
+		"fewer frequent": func(h *Histogram) { h.Frequent = nil },
+		"bucket bound":   func(h *Histogram) { h.Buckets[0].High = 8 },
+		"extra bucket":   func(h *Histogram) { h.Buckets = append(h.Buckets, Bucket{Low: 10, High: 11}) },
+	}
+	for name, mutate := range mutations {
+		m := base()
+		mutate(m)
+		if a.Equal(m) {
+			t.Errorf("%s mutation not detected", name)
+		}
+	}
+
+	// Serialisation round trips must preserve equality.
+	raw, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Histogram
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !back.Equal(a) {
+		t.Fatal("histogram unequal after binary round trip")
+	}
+}

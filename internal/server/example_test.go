@@ -1,0 +1,58 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"streamhist/internal/client"
+	"streamhist/internal/server"
+	"streamhist/internal/table"
+)
+
+// ExampleServer shows the whole serving loop end to end, in process:
+// register a relation, scan it over a pipe (the client receives the raw
+// page bytes), and fetch the histogram that the scan refreshed for free.
+func ExampleServer() {
+	// A small relation: 1000 rows over ten distinct values.
+	schema := table.NewSchema(table.Column{Name: "v", Type: table.Int64})
+	rel := table.NewRelation("demo", schema)
+	for i := 0; i < 1000; i++ {
+		rel.Append(table.Row{int64(i % 10)})
+	}
+
+	srv := server.New(server.Config{})
+	if err := srv.Register(rel); err != nil {
+		fmt.Println("register:", err)
+		return
+	}
+	sc, cc := net.Pipe()
+	go srv.ServeConn(sc)
+
+	c := client.New(cc)
+	sum, err := c.Scan("demo", "v", io.Discard)
+	if err != nil {
+		fmt.Println("scan:", err)
+		return
+	}
+	fmt.Printf("pages served: %d\n", sum.Pages)
+	fmt.Printf("rows binned:  %d\n", sum.Rows)
+	fmt.Printf("refreshed:    %v\n", sum.Refreshed)
+
+	st, err := c.Stats("demo", "v")
+	if err != nil {
+		fmt.Println("stats:", err)
+		return
+	}
+	fmt.Printf("stats:        %v\n", st.Histogram)
+	fmt.Printf("rows ≤ 4:     %.0f\n", st.Histogram.EstimateLess(5))
+
+	c.Close()
+	srv.Close()
+	// Output:
+	// pages served: 1
+	// rows binned:  1000
+	// refreshed:    true
+	// stats:        compressed{total=1000 distinct=10 frequent=10 buckets=0}
+	// rows ≤ 4:     500
+}

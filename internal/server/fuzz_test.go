@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the wire decoder the way FuzzHistogramUnmarshal
+// hammers the catalog decoder: arbitrary bytes must decode-or-error without
+// panicking and without ballooning allocations, and every frame that
+// decodes must re-encode identically. Decoded payloads are then pushed
+// through every request/response payload parser, which must be equally
+// panic-free on attacker-controlled bytes.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, FrameScan, EncodeScanRequest(ScanRequest{Table: "lineitem", Column: "l_tax"})))
+	f.Add(AppendFrame(nil, FrameScanEnd, EncodeScanSummary(ScanSummary{Pages: 2, Bytes: 16384, Rows: 99, Refreshed: true})))
+	f.Add(AppendFrame(nil, FrameStatsResult, EncodeStatsResult(StatsResult{RowCount: 5, Histogram: []byte{1, 2}})))
+	f.Add(AppendFrame(nil, FrameTables, EncodeTableList([]TableInfo{{Name: "t", Rows: 3, Columns: []string{"a"}}})))
+	f.Add(AppendFrame(nil, FrameError, EncodeError(ErrNoStats)))
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x48})
+	good := AppendFrame(nil, FramePages, bytes.Repeat([]byte{7}, 64))
+	f.Add(good)
+	f.Add(good[:len(good)-5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < FrameHeaderSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// Re-encoding must reproduce the consumed bytes exactly.
+		back := AppendFrame(nil, fr.Type, fr.Payload)
+		if !bytes.Equal(back, data[:n]) {
+			t.Fatalf("frame did not round trip: % x -> % x", data[:n], back)
+		}
+		// Payload parsers must be total: decode-or-error, never panic.
+		if _, err := DecodeScanRequest(fr.Payload); err == nil {
+			// A valid request must re-encode through the same bytes.
+			req, _ := DecodeScanRequest(fr.Payload)
+			if !bytes.Equal(EncodeScanRequest(req), fr.Payload) {
+				t.Fatalf("scan request did not round trip")
+			}
+		}
+		if sum, err := DecodeScanSummary(fr.Payload); err == nil {
+			if !bytes.Equal(EncodeScanSummary(sum), fr.Payload) {
+				// NaN payloads re-encode to different bit patterns only if
+				// the float bits changed, which Float64bits never does.
+				t.Fatalf("scan summary did not round trip")
+			}
+		}
+		if res, err := DecodeStatsResult(fr.Payload); err == nil {
+			if !bytes.Equal(EncodeStatsResult(res), fr.Payload) {
+				t.Fatalf("stats result did not round trip")
+			}
+		}
+		if tables, err := DecodeTableList(fr.Payload); err == nil {
+			if !bytes.Equal(EncodeTableList(tables), fr.Payload) {
+				t.Fatalf("table list did not round trip")
+			}
+		}
+		DecodeError(fr.Payload)
+	})
+}

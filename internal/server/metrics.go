@@ -1,0 +1,59 @@
+package server
+
+import "sync/atomic"
+
+// metrics is the server's hot-path instrumentation. Counters are plain
+// atomics so a scan never takes a lock to account for itself.
+type metrics struct {
+	scansServed   atomic.Int64
+	pagesMoved    atomic.Int64
+	bytesMoved    atomic.Int64
+	rowsBinned    atomic.Int64
+	histRefreshed atomic.Int64
+	statsServed   atomic.Int64
+	sideSkipped   atomic.Int64
+	parseErrors   atomic.Int64
+	accelCycles   atomic.Int64
+	activeConns   atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of the server counters.
+type MetricsSnapshot struct {
+	// ScansServed counts completed SCAN requests; BytesMoved and PagesMoved
+	// count the page payload delivered across all of them.
+	ScansServed int64
+	PagesMoved  int64
+	BytesMoved  int64
+	// RowsBinned counts column values pushed through the Binner side path.
+	RowsBinned int64
+	// HistogramsRefreshed counts catalog installs produced by served scans.
+	HistogramsRefreshed int64
+	// StatsServed counts answered STATS requests.
+	StatsServed int64
+	// SideSkipped counts scans that streamed without a side path because
+	// the drain pool was saturated (the fail-open case).
+	SideSkipped int64
+	// ParseErrors counts side paths abandoned on malformed page bytes.
+	ParseErrors int64
+	// AccelCycles accumulates the simulated accelerator cycles (binning
+	// pipeline + histogram chain) across refreshes.
+	AccelCycles int64
+	// ActiveConns is the number of currently registered connections.
+	ActiveConns int64
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		ScansServed:         s.metrics.scansServed.Load(),
+		PagesMoved:          s.metrics.pagesMoved.Load(),
+		BytesMoved:          s.metrics.bytesMoved.Load(),
+		RowsBinned:          s.metrics.rowsBinned.Load(),
+		HistogramsRefreshed: s.metrics.histRefreshed.Load(),
+		StatsServed:         s.metrics.statsServed.Load(),
+		SideSkipped:         s.metrics.sideSkipped.Load(),
+		ParseErrors:         s.metrics.parseErrors.Load(),
+		AccelCycles:         s.metrics.accelCycles.Load(),
+		ActiveConns:         s.metrics.activeConns.Load(),
+	}
+}

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire protocol of histserved. Everything that crosses the connection is
+// a frame: an 8-byte header followed by a payload.
+//
+// Frame header (little-endian):
+//
+//	[0:2]  magic 0x4846 ("HF")
+//	[2]    frame type
+//	[3]    reserved, must be zero
+//	[4:8]  payload length
+//
+// Requests (client → server) name a table and optionally a column as
+// length-prefixed strings. Scan responses are a sequence of FramePages
+// frames — each payload is a whole number of raw 8 KiB page images, exactly
+// the bytes storage holds — terminated by a FrameScanEnd summary. The page
+// payloads are deliberately transparent: the serving path relays storage
+// bytes unchanged, the way the paper's splitter does, and every statistic is
+// computed from a copy on the side.
+
+// FrameMagic identifies a protocol frame.
+const FrameMagic uint16 = 0x4846
+
+// FrameHeaderSize is the fixed size of a frame header in bytes.
+const FrameHeaderSize = 8
+
+// MaxPayload bounds a frame payload; larger lengths are rejected before any
+// allocation, so a corrupt or hostile header cannot balloon memory.
+const MaxPayload = 1 << 20
+
+// maxNameLen bounds table/column identifiers on the wire.
+const maxNameLen = 256
+
+// maxListEntries bounds repeated sections in list-shaped payloads.
+const maxListEntries = 4096
+
+// Frame types. Requests are low numbers, responses high.
+const (
+	// FrameScan requests a table scan: payload is a ScanRequest.
+	FrameScan uint8 = 1
+	// FrameStats requests a column's catalog entry: payload is a ScanRequest.
+	FrameStats uint8 = 2
+	// FrameList requests the table listing: empty payload.
+	FrameList uint8 = 3
+
+	// FramePages carries raw page images (a whole number of pages).
+	FramePages uint8 = 16
+	// FrameScanEnd terminates a scan: payload is a ScanSummary.
+	FrameScanEnd uint8 = 17
+	// FrameStatsResult answers FrameStats: payload is a StatsResult.
+	FrameStatsResult uint8 = 18
+	// FrameTables answers FrameList: payload is a table list.
+	FrameTables uint8 = 19
+	// FrameError reports a request failure: payload is a code and message.
+	FrameError uint8 = 20
+)
+
+// ErrBadFrame reports a malformed frame or payload.
+var ErrBadFrame = errors.New("server: bad protocol frame")
+
+// Sentinel request failures, carried over the wire as error codes so the
+// client can round-trip them through errors.Is.
+var (
+	// ErrUnknownTable reports a scan/stats request for an unregistered table.
+	ErrUnknownTable = errors.New("histserved: unknown table")
+	// ErrUnknownColumn reports a request for a column the table lacks.
+	ErrUnknownColumn = errors.New("histserved: unknown column")
+	// ErrNoStats reports a STATS request before any scan refreshed the column.
+	ErrNoStats = errors.New("histserved: no statistics gathered yet")
+	// ErrBadRequest reports an undecodable or out-of-protocol request.
+	ErrBadRequest = errors.New("histserved: bad request")
+)
+
+// Wire error codes for the sentinels above.
+const (
+	codeInternal      uint16 = 0
+	codeUnknownTable  uint16 = 1
+	codeUnknownColumn uint16 = 2
+	codeNoStats       uint16 = 3
+	codeBadRequest    uint16 = 4
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    uint8
+	Payload []byte
+}
+
+// AppendFrame appends the encoding of one frame to dst.
+func AppendFrame(dst []byte, typ uint8, payload []byte) []byte {
+	var hdr [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], FrameMagic)
+	hdr[2] = typ
+	hdr[3] = 0
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ uint8, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: payload %d exceeds limit %d", ErrBadFrame, len(payload), MaxPayload)
+	}
+	var hdr [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], FrameMagic)
+	hdr[2] = typ
+	hdr[3] = 0
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r, rejecting oversized payloads before
+// allocating. It returns io.EOF only when the stream ends cleanly between
+// frames.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Frame{}, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	f, n, err := decodeHeader(hdr[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// decodeHeader validates a frame header and returns the declared payload
+// length.
+func decodeHeader(hdr []byte) (Frame, int, error) {
+	if magic := binary.LittleEndian.Uint16(hdr[0:2]); magic != FrameMagic {
+		return Frame{}, 0, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, magic)
+	}
+	if hdr[3] != 0 {
+		return Frame{}, 0, fmt.Errorf("%w: reserved byte %#x", ErrBadFrame, hdr[3])
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: payload %d exceeds limit %d", ErrBadFrame, n, MaxPayload)
+	}
+	return Frame{Type: hdr[2]}, int(n), nil
+}
+
+// DecodeFrame decodes one frame from the start of buf, returning the frame
+// and the number of bytes consumed. The payload aliases buf.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < FrameHeaderSize {
+		return Frame{}, 0, fmt.Errorf("%w: short header (%d bytes)", ErrBadFrame, len(buf))
+	}
+	f, n, err := decodeHeader(buf[:FrameHeaderSize])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if len(buf)-FrameHeaderSize < n {
+		return Frame{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrBadFrame, len(buf)-FrameHeaderSize, n)
+	}
+	f.Payload = buf[FrameHeaderSize : FrameHeaderSize+n]
+	return f, FrameHeaderSize + n, nil
+}
+
+// ---- payload encodings ----
+
+// appendString appends a u16-length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// cutString consumes a u16-length-prefixed string from buf.
+func cutString(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, fmt.Errorf("%w: truncated string length", ErrBadFrame)
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if n > maxNameLen {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds limit %d", ErrBadFrame, n, maxNameLen)
+	}
+	if len(buf) < n {
+		return "", nil, fmt.Errorf("%w: truncated string body", ErrBadFrame)
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// ScanRequest names the relation and column of a SCAN or STATS request.
+type ScanRequest struct {
+	Table  string
+	Column string
+}
+
+// EncodeScanRequest serialises a request payload.
+func EncodeScanRequest(req ScanRequest) []byte {
+	out := make([]byte, 0, 4+len(req.Table)+len(req.Column))
+	out = appendString(out, req.Table)
+	return appendString(out, req.Column)
+}
+
+// DecodeScanRequest parses a request payload.
+func DecodeScanRequest(buf []byte) (ScanRequest, error) {
+	table, rest, err := cutString(buf)
+	if err != nil {
+		return ScanRequest{}, err
+	}
+	column, rest, err := cutString(rest)
+	if err != nil {
+		return ScanRequest{}, err
+	}
+	if len(rest) != 0 {
+		return ScanRequest{}, fmt.Errorf("%w: %d trailing bytes in request", ErrBadFrame, len(rest))
+	}
+	if table == "" {
+		return ScanRequest{}, fmt.Errorf("%w: empty table name", ErrBadFrame)
+	}
+	return ScanRequest{Table: table, Column: column}, nil
+}
+
+// ScanSummary closes a scan: what moved and what the movement bought.
+type ScanSummary struct {
+	// Pages and Bytes count the page images delivered to the client.
+	Pages uint32
+	Bytes uint64
+	// Rows is the number of column values the side path binned (0 when the
+	// side path was skipped or failed open).
+	Rows uint64
+	// Refreshed reports whether the scan installed a fresh histogram.
+	Refreshed bool
+	// AccelCycles is the simulated accelerator completion time for this
+	// scan (binning pipeline + histogram chain), in clock cycles.
+	AccelCycles uint64
+	// AccelSeconds is AccelCycles at the configured clock.
+	AccelSeconds float64
+}
+
+// EncodeScanSummary serialises a FrameScanEnd payload.
+func EncodeScanSummary(s ScanSummary) []byte {
+	out := make([]byte, 0, 37)
+	out = binary.LittleEndian.AppendUint32(out, s.Pages)
+	out = binary.LittleEndian.AppendUint64(out, s.Bytes)
+	out = binary.LittleEndian.AppendUint64(out, s.Rows)
+	if s.Refreshed {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.LittleEndian.AppendUint64(out, s.AccelCycles)
+	return binary.LittleEndian.AppendUint64(out, math.Float64bits(s.AccelSeconds))
+}
+
+// DecodeScanSummary parses a FrameScanEnd payload.
+func DecodeScanSummary(buf []byte) (ScanSummary, error) {
+	if len(buf) != 37 {
+		return ScanSummary{}, fmt.Errorf("%w: scan summary is %d bytes, want 37", ErrBadFrame, len(buf))
+	}
+	var s ScanSummary
+	s.Pages = binary.LittleEndian.Uint32(buf[0:4])
+	s.Bytes = binary.LittleEndian.Uint64(buf[4:12])
+	s.Rows = binary.LittleEndian.Uint64(buf[12:20])
+	switch buf[20] {
+	case 0:
+	case 1:
+		s.Refreshed = true
+	default:
+		return ScanSummary{}, fmt.Errorf("%w: bad refreshed flag %d", ErrBadFrame, buf[20])
+	}
+	s.AccelCycles = binary.LittleEndian.Uint64(buf[21:29])
+	s.AccelSeconds = math.Float64frombits(binary.LittleEndian.Uint64(buf[29:37]))
+	return s, nil
+}
+
+// StatsResult is a STATS response: the catalog entry plus the histogram's
+// own binary encoding (hist.Histogram.MarshalBinary) carried opaquely.
+type StatsResult struct {
+	RowCount  int64
+	NDistinct int64
+	Version   uint64
+	Histogram []byte
+}
+
+// EncodeStatsResult serialises a FrameStatsResult payload.
+func EncodeStatsResult(s StatsResult) []byte {
+	out := make([]byte, 0, 24+len(s.Histogram))
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.RowCount))
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.NDistinct))
+	out = binary.LittleEndian.AppendUint64(out, s.Version)
+	return append(out, s.Histogram...)
+}
+
+// DecodeStatsResult parses a FrameStatsResult payload. The histogram bytes
+// alias buf and are not themselves validated here — the client decodes them
+// with hist.Histogram.UnmarshalBinary, which detects corruption.
+func DecodeStatsResult(buf []byte) (StatsResult, error) {
+	if len(buf) < 24 {
+		return StatsResult{}, fmt.Errorf("%w: stats result is %d bytes, want ≥ 24", ErrBadFrame, len(buf))
+	}
+	return StatsResult{
+		RowCount:  int64(binary.LittleEndian.Uint64(buf[0:8])),
+		NDistinct: int64(binary.LittleEndian.Uint64(buf[8:16])),
+		Version:   binary.LittleEndian.Uint64(buf[16:24]),
+		Histogram: buf[24:],
+	}, nil
+}
+
+// TableInfo is one entry of the table listing.
+type TableInfo struct {
+	Name string
+	Rows int64
+	// Columns lists every column of the schema.
+	Columns []string
+	// StatsColumns lists the columns whose histograms are currently in the
+	// catalog — i.e. the columns some served scan has already refreshed.
+	StatsColumns []string
+}
+
+// EncodeTableList serialises a FrameTables payload.
+func EncodeTableList(tables []TableInfo) []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(tables)))
+	for _, t := range tables {
+		out = appendString(out, t.Name)
+		out = binary.LittleEndian.AppendUint64(out, uint64(t.Rows))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(t.Columns)))
+		for _, c := range t.Columns {
+			out = appendString(out, c)
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(t.StatsColumns)))
+		for _, c := range t.StatsColumns {
+			out = appendString(out, c)
+		}
+	}
+	return out
+}
+
+// DecodeTableList parses a FrameTables payload.
+func DecodeTableList(buf []byte) ([]TableInfo, error) {
+	cutCount := func(b []byte) (int, []byte, error) {
+		if len(b) < 2 {
+			return 0, nil, fmt.Errorf("%w: truncated count", ErrBadFrame)
+		}
+		n := int(binary.LittleEndian.Uint16(b))
+		if n > maxListEntries {
+			return 0, nil, fmt.Errorf("%w: count %d exceeds limit %d", ErrBadFrame, n, maxListEntries)
+		}
+		return n, b[2:], nil
+	}
+	n, buf, err := cutCount(buf)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([]TableInfo, 0, n)
+	for i := 0; i < n; i++ {
+		var t TableInfo
+		if t.Name, buf, err = cutString(buf); err != nil {
+			return nil, err
+		}
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("%w: truncated row count", ErrBadFrame)
+		}
+		t.Rows = int64(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+		var nc int
+		if nc, buf, err = cutCount(buf); err != nil {
+			return nil, err
+		}
+		for j := 0; j < nc; j++ {
+			var c string
+			if c, buf, err = cutString(buf); err != nil {
+				return nil, err
+			}
+			t.Columns = append(t.Columns, c)
+		}
+		if nc, buf, err = cutCount(buf); err != nil {
+			return nil, err
+		}
+		for j := 0; j < nc; j++ {
+			var c string
+			if c, buf, err = cutString(buf); err != nil {
+				return nil, err
+			}
+			t.StatsColumns = append(t.StatsColumns, c)
+		}
+		tables = append(tables, t)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in table list", ErrBadFrame, len(buf))
+	}
+	return tables, nil
+}
+
+// EncodeError serialises a FrameError payload from an error, mapping the
+// protocol sentinels to stable codes.
+func EncodeError(err error) []byte {
+	code := codeInternal
+	switch {
+	case errors.Is(err, ErrUnknownTable):
+		code = codeUnknownTable
+	case errors.Is(err, ErrUnknownColumn):
+		code = codeUnknownColumn
+	case errors.Is(err, ErrNoStats):
+		code = codeNoStats
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrBadFrame):
+		code = codeBadRequest
+	}
+	msg := err.Error()
+	if len(msg) > MaxPayload-2 {
+		msg = msg[:MaxPayload-2]
+	}
+	out := make([]byte, 0, 2+len(msg))
+	out = binary.LittleEndian.AppendUint16(out, code)
+	return append(out, msg...)
+}
+
+// DecodeError reconstructs the error carried by a FrameError payload. The
+// result wraps the matching sentinel so errors.Is works across the wire.
+func DecodeError(buf []byte) error {
+	if len(buf) < 2 {
+		return fmt.Errorf("%w: truncated error payload", ErrBadFrame)
+	}
+	code := binary.LittleEndian.Uint16(buf[0:2])
+	msg := string(buf[2:])
+	var sentinel error
+	switch code {
+	case codeUnknownTable:
+		sentinel = ErrUnknownTable
+	case codeUnknownColumn:
+		sentinel = ErrUnknownColumn
+	case codeNoStats:
+		sentinel = ErrNoStats
+	case codeBadRequest:
+		sentinel = ErrBadRequest
+	default:
+		return fmt.Errorf("histserved: server error: %s", msg)
+	}
+	return fmt.Errorf("%w (%s)", sentinel, msg)
+}

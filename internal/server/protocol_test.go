@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, FrameScan, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if f.Type != FrameScan || !bytes.Equal(f.Payload, p) {
+			t.Fatalf("round trip mismatch: type=%d len=%d want len=%d", f.Type, len(f.Payload), len(p))
+		}
+		// DecodeFrame must agree with the streaming reader.
+		enc := AppendFrame(nil, FrameScan, p)
+		df, n, err := DecodeFrame(enc)
+		if err != nil || n != len(enc) || df.Type != FrameScan || !bytes.Equal(df.Payload, p) {
+			t.Fatalf("DecodeFrame mismatch: %v n=%d", err, n)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversizedPayload(t *testing.T) {
+	enc := AppendFrame(nil, FramePages, []byte{1, 2, 3})
+	enc[4] = 0xFF
+	enc[5] = 0xFF
+	enc[6] = 0xFF
+	enc[7] = 0x7F // declares ~2 GiB
+	if _, err := ReadFrame(bytes.NewReader(enc)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized payload: got %v, want ErrBadFrame", err)
+	}
+	if _, _, err := DecodeFrame(enc); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("DecodeFrame oversized payload: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	enc := AppendFrame(nil, FrameScan, nil)
+	enc[0] = 0x00
+	if _, err := ReadFrame(bytes.NewReader(enc)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadFrameEOFSemantics(t *testing.T) {
+	// A clean end between frames is io.EOF; a mid-frame end is unexpected.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+	enc := AppendFrame(nil, FrameScan, []byte{1, 2, 3})
+	for _, cut := range []int{1, FrameHeaderSize - 1, FrameHeaderSize + 1} {
+		if _, err := ReadFrame(bytes.NewReader(enc[:cut])); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestScanRequestRoundTrip(t *testing.T) {
+	for _, req := range []ScanRequest{
+		{Table: "lineitem", Column: "l_extendedprice"},
+		{Table: "t", Column: ""},
+	} {
+		back, err := DecodeScanRequest(EncodeScanRequest(req))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", req, err)
+		}
+		if back != req {
+			t.Fatalf("round trip changed request: %+v -> %+v", req, back)
+		}
+	}
+}
+
+func TestScanRequestRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"empty table":   EncodeScanRequest(ScanRequest{Table: "", Column: "c"}),
+		"trailing junk": append(EncodeScanRequest(ScanRequest{Table: "t", Column: "c"}), 0xFF),
+		"huge name len": {0xFF, 0xFF},
+	}
+	for name, buf := range cases {
+		if _, err := DecodeScanRequest(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestScanSummaryRoundTrip(t *testing.T) {
+	s := ScanSummary{Pages: 7, Bytes: 7 * 8192, Rows: 7161, Refreshed: true, AccelCycles: 123456, AccelSeconds: 0.000823}
+	back, err := DecodeScanSummary(EncodeScanSummary(s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed summary: %+v -> %+v", s, back)
+	}
+	if _, err := DecodeScanSummary(EncodeScanSummary(s)[:20]); err == nil {
+		t.Fatal("truncated summary decoded without error")
+	}
+}
+
+func TestStatsResultRoundTrip(t *testing.T) {
+	s := StatsResult{RowCount: 10, NDistinct: 3, Version: 2, Histogram: []byte{1, 2, 3, 4}}
+	back, err := DecodeStatsResult(EncodeStatsResult(s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.RowCount != s.RowCount || back.NDistinct != s.NDistinct ||
+		back.Version != s.Version || !bytes.Equal(back.Histogram, s.Histogram) {
+		t.Fatalf("round trip changed stats: %+v -> %+v", s, back)
+	}
+	if _, err := DecodeStatsResult(make([]byte, 23)); err == nil {
+		t.Fatal("short stats result decoded without error")
+	}
+}
+
+func TestTableListRoundTrip(t *testing.T) {
+	tables := []TableInfo{
+		{Name: "lineitem", Rows: 100, Columns: []string{"a", "b"}, StatsColumns: []string{"a"}},
+		{Name: "empty", Rows: 0},
+	}
+	back, err := DecodeTableList(EncodeTableList(tables))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back) != len(tables) {
+		t.Fatalf("got %d tables, want %d", len(back), len(tables))
+	}
+	for i := range tables {
+		a, b := tables[i], back[i]
+		if a.Name != b.Name || a.Rows != b.Rows ||
+			strings.Join(a.Columns, ",") != strings.Join(b.Columns, ",") ||
+			strings.Join(a.StatsColumns, ",") != strings.Join(b.StatsColumns, ",") {
+			t.Fatalf("table %d changed: %+v -> %+v", i, a, b)
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{ErrUnknownTable, ErrUnknownColumn, ErrNoStats, ErrBadRequest} {
+		wrapped := DecodeError(EncodeError(sentinel))
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("sentinel %v lost across the wire: got %v", sentinel, wrapped)
+		}
+	}
+	other := DecodeError(EncodeError(errors.New("disk on fire")))
+	if other == nil || !strings.Contains(other.Error(), "disk on fire") {
+		t.Fatalf("generic error lost its message: %v", other)
+	}
+}

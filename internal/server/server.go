@@ -1,0 +1,675 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"streamhist/internal/core"
+	"streamhist/internal/dbms"
+	"streamhist/internal/hist"
+	"streamhist/internal/hw"
+	"streamhist/internal/page"
+	"streamhist/internal/stream"
+	"streamhist/internal/table"
+)
+
+// ErrServerClosed is returned by Serve after a shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// DrainWorkers bounds how many scans may run a statistics side path at
+	// once. When the pool is exhausted a scan still streams at full speed —
+	// it just skips the side path (fail open, §4: the accelerator must
+	// never slow the regular flow of data).
+	DrainWorkers int
+	// SideBufDepth is the per-scan side-channel depth in frames. A full
+	// buffer applies backpressure to that scan, bounding memory instead of
+	// dropping values, so a refreshed histogram is always complete.
+	SideBufDepth int
+	// PagesPerFrame sets how many 8 KiB page images ride in one FramePages.
+	PagesPerFrame int
+	// IdleTimeout bounds the wait for the next request on a connection.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response frame write.
+	WriteTimeout time.Duration
+	// ShutdownGrace bounds the drain when Serve's context is cancelled.
+	ShutdownGrace time.Duration
+	// TopK and Buckets shape the Compressed histograms installed in the
+	// catalog (T and B of the paper's evaluation setup).
+	TopK, Buckets int
+	// Binner overrides the accelerator simulation parameters.
+	Binner core.BinnerConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.DrainWorkers <= 0 {
+		c.DrainWorkers = 8
+	}
+	if c.SideBufDepth <= 0 {
+		c.SideBufDepth = 8
+	}
+	if c.PagesPerFrame <= 0 {
+		c.PagesPerFrame = 16
+	}
+	if c.PagesPerFrame*page.Size > MaxPayload {
+		c.PagesPerFrame = MaxPayload / page.Size
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 5 * time.Second
+	}
+	if c.TopK <= 0 {
+		c.TopK = 64
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 64
+	}
+	if c.Binner.Clock.Hz == 0 {
+		c.Binner = core.DefaultBinnerConfig()
+	}
+	return c
+}
+
+// colMeta is the per-column scan metadata computed at registration: the
+// ColumnSpec the Parser needs and the value range the Binner is sized for —
+// the "host-provided metadata" the paper piggybacks on the read command.
+type colMeta struct {
+	spec     core.ColumnSpec
+	min, max int64
+	ok       bool // false for empty columns: no side path possible
+}
+
+// tableEntry is one registered relation plus its lazily encoded page images.
+type tableEntry struct {
+	rel  *table.Relation
+	cols map[string]colMeta
+
+	once  sync.Once
+	pages []*page.Page
+}
+
+func (e *tableEntry) pageImages() []*page.Page {
+	e.once.Do(func() { e.pages = page.Encode(e.rel) })
+	return e.pages
+}
+
+// connState tracks whether a connection is mid-request, so a graceful
+// shutdown can close idle connections immediately and let active scans end.
+type connState struct {
+	mu     sync.Mutex
+	active bool
+}
+
+// Server is the histserved scan service: it registers relations, streams
+// their raw page bytes to clients, and — as a side effect of every served
+// scan — refreshes the statistics catalog through the accelerator model.
+type Server struct {
+	cfg     Config
+	catalog *dbms.Catalog
+
+	mu     sync.RWMutex
+	tables map[string]*tableEntry
+
+	drainSem chan struct{}
+	bufPool  sync.Pool
+
+	connMu     sync.Mutex
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]*connState
+	inShutdown bool
+
+	wg sync.WaitGroup
+
+	metrics metrics
+}
+
+// New builds a Server with the given configuration and an empty catalog.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		catalog:   dbms.NewCatalog(),
+		tables:    make(map[string]*tableEntry),
+		drainSem:  make(chan struct{}, cfg.DrainWorkers),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]*connState),
+	}
+	frameBytes := cfg.PagesPerFrame * page.Size
+	s.bufPool.New = func() any {
+		b := make([]byte, 0, frameBytes)
+		return &b
+	}
+	return s
+}
+
+// Catalog exposes the server's statistics dictionary, e.g. to share it with
+// an embedding planner or to inspect it in tests.
+func (s *Server) Catalog() *dbms.Catalog { return s.catalog }
+
+// Register adds (or replaces) a relation. Replacing bumps the catalog
+// version so previously gathered statistics read as stale until the next
+// served scan refreshes them.
+func (s *Server) Register(rel *table.Relation) error {
+	if rel == nil || rel.Name == "" {
+		return fmt.Errorf("server: relation must have a name")
+	}
+	if len(rel.Name) > maxNameLen {
+		return fmt.Errorf("server: table name %q exceeds %d bytes", rel.Name, maxNameLen)
+	}
+	cols := make(map[string]colMeta, rel.Schema.NumColumns())
+	for _, c := range rel.Schema.Columns {
+		spec, err := core.SpecFor(rel.Schema, c.Name)
+		if err != nil {
+			return err
+		}
+		m := colMeta{spec: spec}
+		if vals := rel.ColumnByName(c.Name); len(vals) > 0 {
+			m.min, m.max, m.ok = vals[0], vals[0], true
+			for _, v := range vals {
+				if v < m.min {
+					m.min = v
+				}
+				if v > m.max {
+					m.max = v
+				}
+			}
+		}
+		cols[c.Name] = m
+	}
+	s.mu.Lock()
+	_, replaced := s.tables[rel.Name]
+	s.tables[rel.Name] = &tableEntry{rel: rel, cols: cols}
+	s.mu.Unlock()
+	if replaced {
+		s.catalog.BumpVersion(rel.Name)
+	}
+	return nil
+}
+
+func (s *Server) lookup(name string) (*tableEntry, error) {
+	s.mu.RLock()
+	e := s.tables[name]
+	s.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	return e, nil
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains
+// gracefully (bounded by Config.ShutdownGrace) and returns ErrServerClosed.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	if s.shuttingDown() {
+		return ErrServerClosed
+	}
+	s.connMu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.listeners, ln)
+		s.connMu.Unlock()
+	}()
+
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || s.shuttingDown() {
+				sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+				defer cancel()
+				if serr := s.Shutdown(sctx); serr != nil {
+					return fmt.Errorf("%w: drain: %v", ErrServerClosed, serr)
+				}
+				return ErrServerClosed
+			}
+			return err
+		}
+		st := s.trackConn(conn)
+		if st == nil {
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn, st)
+	}
+}
+
+// ServeConn serves one pre-established connection (e.g. one side of a
+// net.Pipe) until the peer disconnects or the server shuts down. It blocks.
+func (s *Server) ServeConn(conn net.Conn) {
+	st := s.trackConn(conn)
+	if st == nil {
+		conn.Close()
+		return
+	}
+	s.wg.Add(1)
+	s.handleConn(conn, st)
+}
+
+func (s *Server) trackConn(conn net.Conn) *connState {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.inShutdown {
+		return nil
+	}
+	st := &connState{}
+	s.conns[conn] = st
+	s.metrics.activeConns.Add(1)
+	return st
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.connMu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		delete(s.conns, conn)
+		s.metrics.activeConns.Add(-1)
+	}
+	s.connMu.Unlock()
+}
+
+func (s *Server) shuttingDown() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.inShutdown
+}
+
+// Shutdown stops accepting, lets in-flight requests finish, closes idle
+// connections, and waits for every handler to exit. When ctx expires first,
+// remaining connections are force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.connMu.Lock()
+	s.inShutdown = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.connMu.Unlock()
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if s.closeIdleConns() == 0 {
+			s.wg.Wait()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.closeAllConns()
+			s.wg.Wait()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close force-closes every listener and connection and waits for handlers.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	s.inShutdown = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.connMu.Unlock()
+	s.closeAllConns()
+	s.wg.Wait()
+	return nil
+}
+
+// closeIdleConns closes connections not currently serving a request and
+// returns how many connections remain registered.
+func (s *Server) closeIdleConns() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for conn, st := range s.conns {
+		st.mu.Lock()
+		idle := !st.active
+		st.mu.Unlock()
+		if idle {
+			conn.Close()
+		}
+	}
+	return len(s.conns)
+}
+
+func (s *Server) closeAllConns() {
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// handleConn runs one connection's request loop.
+func (s *Server) handleConn(conn net.Conn, st *connState) {
+	defer func() {
+		s.dropConn(conn)
+		conn.Close()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		if s.shuttingDown() {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		f, err := ReadFrame(br)
+		if err != nil {
+			// EOF, idle timeout, or an unframeable stream: nothing to
+			// resynchronise on, drop the connection.
+			return
+		}
+		st.mu.Lock()
+		st.active = true
+		st.mu.Unlock()
+		err = s.dispatch(conn, bw, f)
+		st.mu.Lock()
+		st.active = false
+		st.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame. A returned error means the connection
+// is unusable (I/O failure); request-level failures are reported to the
+// client in a FrameError and return nil.
+func (s *Server) dispatch(conn net.Conn, bw *bufio.Writer, f Frame) error {
+	switch f.Type {
+	case FrameScan:
+		req, err := DecodeScanRequest(f.Payload)
+		if err != nil {
+			return s.writeError(conn, bw, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		}
+		return s.handleScan(conn, bw, req)
+	case FrameStats:
+		req, err := DecodeScanRequest(f.Payload)
+		if err != nil {
+			return s.writeError(conn, bw, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		}
+		return s.handleStats(conn, bw, req)
+	case FrameList:
+		return s.handleList(conn, bw)
+	default:
+		return s.writeError(conn, bw, fmt.Errorf("%w: unexpected frame type %d", ErrBadRequest, f.Type))
+	}
+}
+
+func (s *Server) writeError(conn net.Conn, bw *bufio.Writer, err error) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if werr := WriteFrame(bw, FrameError, EncodeError(err)); werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+func (s *Server) writeFrame(conn net.Conn, bw *bufio.Writer, typ uint8, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return WriteFrame(bw, typ, payload)
+}
+
+// handleScan streams the relation's raw page images to the client and, on
+// the side, bins the requested column and refreshes the catalog histogram.
+// The serving path never waits for histogram construction: statistics are a
+// by-product of the bytes that were moving anyway.
+func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) error {
+	entry, err := s.lookup(req.Table)
+	if err != nil {
+		return s.writeError(conn, bw, err)
+	}
+	var meta colMeta
+	if req.Column != "" {
+		var ok bool
+		meta, ok = entry.cols[req.Column]
+		if !ok {
+			return s.writeError(conn, bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
+		}
+	}
+
+	sp := s.startSidePath(entry, req, meta)
+	if sp != nil {
+		defer sp.stop()
+	}
+
+	src := stream.NewPagesReaderFromPages(entry.pageImages())
+	frame := make([]byte, s.cfg.PagesPerFrame*page.Size)
+	var sum ScanSummary
+	for {
+		n, rerr := io.ReadFull(src, frame)
+		if n > 0 {
+			if werr := s.writeFrame(conn, bw, FramePages, frame[:n]); werr != nil {
+				return werr
+			}
+			sum.Pages += uint32(n / page.Size)
+			sum.Bytes += uint64(n)
+			if sp != nil {
+				sp.feed(frame[:n])
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+
+	if sp != nil {
+		sum.Rows, sum.Refreshed, sum.AccelCycles, sum.AccelSeconds = sp.finish()
+	}
+	s.metrics.scansServed.Add(1)
+	s.metrics.pagesMoved.Add(int64(sum.Pages))
+	s.metrics.bytesMoved.Add(int64(sum.Bytes))
+
+	if err := s.writeFrame(conn, bw, FrameScanEnd, EncodeScanSummary(sum)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// handleStats answers with the freshest catalog entry for the column.
+func (s *Server) handleStats(conn net.Conn, bw *bufio.Writer, req ScanRequest) error {
+	entry, err := s.lookup(req.Table)
+	if err != nil {
+		return s.writeError(conn, bw, err)
+	}
+	if _, ok := entry.cols[req.Column]; !ok {
+		return s.writeError(conn, bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
+	}
+	st := s.catalog.Get(req.Table, req.Column)
+	if st == nil || st.Histogram == nil {
+		return s.writeError(conn, bw, fmt.Errorf("%w: %q.%q (serve a scan first)", ErrNoStats, req.Table, req.Column))
+	}
+	raw, err := st.Histogram.MarshalBinary()
+	if err != nil {
+		return s.writeError(conn, bw, fmt.Errorf("server: encoding histogram: %v", err))
+	}
+	s.metrics.statsServed.Add(1)
+	payload := EncodeStatsResult(StatsResult{
+		RowCount:  st.RowCount,
+		NDistinct: st.NDistinct,
+		Version:   st.Version,
+		Histogram: raw,
+	})
+	if err := s.writeFrame(conn, bw, FrameStatsResult, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// handleList answers with the registered tables, their schemas, and which
+// columns currently have served-scan statistics.
+func (s *Server) handleList(conn net.Conn, bw *bufio.Writer) error {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	infos := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		e := s.tables[name]
+		info := TableInfo{Name: name, Rows: int64(e.rel.NumRows())}
+		for _, c := range e.rel.Schema.Columns {
+			info.Columns = append(info.Columns, c.Name)
+		}
+		infos = append(infos, info)
+	}
+	s.mu.RUnlock()
+	for i := range infos {
+		infos[i].StatsColumns = s.catalog.StatsColumns(infos[i].Name)
+	}
+	if err := s.writeFrame(conn, bw, FrameTables, EncodeTableList(infos)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// sidePath is one scan's splitter copy: frames are duplicated into a
+// fixed-depth channel and a drain worker (one of the bounded pool) runs the
+// Parser→Binner pipeline over them while the serving goroutine keeps
+// streaming. Closing the channel and waiting on done is the barrier after
+// which the binned view is complete.
+type sidePath struct {
+	s     *Server
+	entry *tableEntry
+	req   ScanRequest
+
+	parser *core.Parser
+	binner *core.Binner
+	clock  hw.Clock
+
+	ch   chan *[]byte
+	done chan struct{}
+
+	parseErr error
+	stopped  bool
+}
+
+// startSidePath acquires a drain worker and wires the side path, or returns
+// nil when statistics must be skipped: no column requested, an empty
+// column, or a fully busy worker pool (the stream always wins; the scan
+// fails open and the catalog simply isn't refreshed this time).
+func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta) *sidePath {
+	if req.Column == "" {
+		return nil
+	}
+	if !meta.ok {
+		return nil
+	}
+	select {
+	case s.drainSem <- struct{}{}:
+	default:
+		s.metrics.sideSkipped.Add(1)
+		return nil
+	}
+	pre, err := core.RangeFor(meta.min, meta.max, 1)
+	if err != nil {
+		<-s.drainSem
+		s.metrics.sideSkipped.Add(1)
+		return nil
+	}
+	sp := &sidePath{
+		s:      s,
+		entry:  entry,
+		req:    req,
+		parser: core.NewParser(meta.spec),
+		binner: core.NewBinner(s.cfg.Binner, pre),
+		clock:  s.cfg.Binner.Clock,
+		ch:     make(chan *[]byte, s.cfg.SideBufDepth),
+		done:   make(chan struct{}),
+	}
+	go sp.run()
+	return sp
+}
+
+// feed hands the drain worker a copy of one relayed frame. A full channel
+// blocks — per-scan backpressure with a fixed memory bound.
+func (sp *sidePath) feed(b []byte) {
+	bufp := sp.s.bufPool.Get().(*[]byte)
+	*bufp = append((*bufp)[:0], b...)
+	sp.ch <- bufp
+}
+
+// run is the drain worker: the Parser FSM walks the copied page bytes and
+// the Binner bin-sorts every extracted value, exactly as in stream.Tap but
+// decoupled from the wire by the channel.
+func (sp *sidePath) run() {
+	defer close(sp.done)
+	var vals []int64
+	for bufp := range sp.ch {
+		if sp.parseErr == nil {
+			var err error
+			vals, err = sp.parser.Feed(*bufp, vals[:0])
+			if err != nil {
+				sp.parseErr = err
+			} else {
+				sp.binner.PushAll(vals)
+			}
+		}
+		sp.s.bufPool.Put(bufp)
+	}
+}
+
+// stop closes the side channel, waits for the drain worker, and releases
+// the pool slot. Idempotent; called from the serving goroutine only.
+func (sp *sidePath) stop() {
+	if sp.stopped {
+		return
+	}
+	sp.stopped = true
+	close(sp.ch)
+	<-sp.done
+	<-sp.s.drainSem
+}
+
+// finish completes the side path: it runs the histogram chain over the
+// binned view, installs the Compressed histogram in the catalog, and
+// reports the scan's statistics yield plus the simulated hardware cost.
+func (sp *sidePath) finish() (rows uint64, refreshed bool, cycles uint64, seconds float64) {
+	sp.stop()
+	if sp.parseErr != nil {
+		// Fail open: the client got its bytes; only the refresh is lost.
+		sp.s.metrics.parseErrors.Add(1)
+		return 0, false, 0, 0
+	}
+	vec, bstats := sp.binner.Finish()
+	if bstats.Items == 0 {
+		return 0, false, 0, 0
+	}
+	comp := core.NewCompressedBlock(sp.s.cfg.TopK, sp.s.cfg.Buckets, vec.Total())
+	chain := core.NewScanner().Run(vec, comp)
+	h := &hist.Histogram{
+		Kind:          hist.Compressed,
+		Buckets:       comp.Buckets(),
+		Frequent:      comp.Frequent(),
+		Total:         vec.Total(),
+		DistinctTotal: int64(vec.Cardinality()),
+	}
+	sp.s.catalog.Put(sp.req.Table, sp.req.Column, &dbms.ColumnStats{
+		Histogram: h,
+		NDistinct: int64(vec.Cardinality()),
+		RowCount:  int64(sp.entry.rel.NumRows()),
+	})
+	total := uint64(bstats.Cycles + chain.TotalCycles)
+	sp.s.metrics.rowsBinned.Add(bstats.Items)
+	sp.s.metrics.histRefreshed.Add(1)
+	sp.s.metrics.accelCycles.Add(int64(total))
+	return uint64(bstats.Items), true, total, sp.clock.Seconds(int64(total))
+}

@@ -31,6 +31,13 @@ func NewPagesReader(rel *table.Relation) *PagesReader {
 	return &PagesReader{pages: page.Encode(rel)}
 }
 
+// NewPagesReaderFromPages returns a reader over already encoded page
+// images, so callers that cache a relation's pages (the scan server does)
+// can stream them repeatedly without re-encoding.
+func NewPagesReaderFromPages(pages []*page.Page) *PagesReader {
+	return &PagesReader{pages: pages}
+}
+
 // Read implements io.Reader.
 func (r *PagesReader) Read(p []byte) (int, error) {
 	if r.idx >= len(r.pages) {
