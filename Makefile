@@ -1,10 +1,13 @@
 # Developer entry points. `make check` is the full gate the serving
 # subsystem is held to: vet, build, and the whole suite under the race
-# detector (the scan server is aggressively concurrent).
+# detector (the scan server is aggressively concurrent). CI runs check,
+# lint, fuzz (30s smoke on PRs, longer nightly) and bench-json.
 
 GO ?= go
+FUZZTIME ?= 30s
+BENCHJSON ?= BENCH_PR2.json
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz bench bench-json lint
 
 check: vet build race
 
@@ -20,10 +23,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz passes over every decoder that faces attacker-controlled bytes.
+# Fuzz passes over every decoder that faces attacker-controlled bytes.
+# FUZZTIME=30s is the CI smoke setting; the nightly job raises it.
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/server/
-	$(GO) test -run=^$$ -fuzz=FuzzHistogramUnmarshal -fuzztime=30s ./internal/hist/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/server/
+	$(GO) test -run=^$$ -fuzz=FuzzHistogramUnmarshal -fuzztime=$(FUZZTIME) ./internal/hist/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json captures the root-package benchmark suite (one bench per paper
+# artifact plus the parallel data-path scaling group) as a JSON trajectory
+# point for CI artifacts.
+bench-json:
+	$(GO) test -bench=. -benchmem -run='^$$' -count=1 -timeout=60m . | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCHJSON)
+
+# lint runs staticcheck when it is installed (CI installs it; locally it is
+# optional because the repo builds with the stdlib toolchain alone).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi

@@ -6,6 +6,7 @@
 package streamhist_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -321,6 +322,36 @@ func BenchmarkDataPathTap(b *testing.B) {
 		if _, err := dp.Scan(io.Discard, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelDataPath measures the sharded data path at 1/2/4/8
+// lanes. sim-Mvals/s is the simulated merged binning rate (max-lane
+// critical path plus the aggregation pass); the ns/op axis is the real Go
+// cost of fanning the same pages out to N goroutine lanes and merging. The
+// column is l_quantity — a small value domain, so Δ (and the merge pass)
+// stays negligible next to the binning work, the regime where §7's lane
+// replication pays.
+func BenchmarkParallelDataPath(b *testing.B) {
+	rel := tpch.Lineitem(100_000, 10, 305)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			dp, err := stream.NewParallelDataPath(rel, "l_quantity", stream.TenGbE, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var res *stream.ParallelScanResult
+			for i := 0; i < b.N; i++ {
+				res, err = dp.Scan(io.Discard, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(res.HostBytes)
+			b.ReportMetric(res.Results.BinnerStats.ValuesPerSecond(clk)/1e6, "sim-Mvals/s")
+			b.ReportMetric(float64(res.CriticalPathCycles), "sim-cycles")
+		})
 	}
 }
 

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive one BENCH_<PR>.json artifact per change
+// and future PRs have a perf trajectory to diff against.
+//
+//	go test -bench=. -benchmem -run='^$' -count=1 . | benchjson -out BENCH_PR2.json
+//	benchjson -in bench.txt            # stdin/file in, stdout/file out
+//
+// Every benchmark line becomes {name, iterations, metrics}, where metrics
+// maps each reported unit (ns/op, B/op, allocs/op, MB/s, and custom
+// b.ReportMetric units such as sim-Mvals/s) to its value. Header lines
+// (goos/goarch/pkg/cpu) are carried through; unparseable lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the whole converted document.
+type File struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "input file (- for stdin)")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	file, err := Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(file.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+	enc, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// Parse reads `go test -bench` output and collects every benchmark line.
+func Parse(r io.Reader) (*File, error) {
+	file := &File{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			file.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			file.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			file.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				b.Pkg = pkg
+				file.Benchmarks = append(file.Benchmarks, b)
+			}
+		}
+	}
+	return file, sc.Err()
+}
+
+// parseLine splits one result line: name, iteration count, then
+// value/unit pairs.
+//
+//	BenchmarkFoo/sub-8   10   213590800 ns/op   30.22 MB/s   1775 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: streamhist
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1BinnerWorstCase-8   	     100	  11222333 ns/op	  20.01 sim-Mvals/s	  17.83 host-Mvals/s	 1696 B/op	       7 allocs/op
+BenchmarkParallelDataPath/shards-4-8         	      10	 213590800 ns/op	  30.22 MB/s	       189.0 sim-Mvals/s	     79349 sim-cycles	 7333216 B/op	    1775 allocs/op
+BenchmarkHistogramSerialization/marshal-8    	  353078	      3358 ns/op
+PASS
+ok  	streamhist	42.1s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.CPU == "" {
+		t.Errorf("header not captured: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+
+	b := f.Benchmarks[0]
+	if b.Name != "BenchmarkTable1BinnerWorstCase-8" || b.Pkg != "streamhist" || b.Iterations != 100 {
+		t.Errorf("first bench header wrong: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 11222333 || b.Metrics["allocs/op"] != 7 {
+		t.Errorf("standard metrics wrong: %v", b.Metrics)
+	}
+	if b.Metrics["sim-Mvals/s"] != 20.01 {
+		t.Errorf("custom metric wrong: %v", b.Metrics)
+	}
+
+	sub := f.Benchmarks[1]
+	if sub.Name != "BenchmarkParallelDataPath/shards-4-8" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+	if sub.Metrics["sim-cycles"] != 79349 || sub.Metrics["B/op"] != 7333216 {
+		t.Errorf("sub-benchmark metrics wrong: %v", sub.Metrics)
+	}
+
+	bare := f.Benchmarks[2]
+	if len(bare.Metrics) != 1 || bare.Metrics["ns/op"] != 3358 {
+		t.Errorf("ns/op-only line wrong: %v", bare.Metrics)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `random text
+Benchmark       (sourceless header line)
+BenchmarkBroken-8   notanumber   12 ns/op
+--- FAIL: TestSomething
+`
+	f, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Errorf("noise produced %d benchmarks", len(f.Benchmarks))
+	}
+}

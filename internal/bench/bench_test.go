@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3to6", "fig7", "table1", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "table2", "fig22", "accuracy", "variety",
 		"ablation-cache", "ablation-scaleup", "ablation-regions", "ablation-divisor",
-		"ablation-memory", "datapath", "freshness", "piggyback", "access"}
+		"ablation-memory", "datapath", "parallel", "freshness", "piggyback", "access"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d runners, want %d", len(all), len(want))
@@ -545,6 +545,35 @@ func TestVarietyReport(t *testing.T) {
 	for i := 1; i < len(fpga); i++ {
 		if fpga[i] != "yes" {
 			t.Errorf("accelerator should provide everything: %v", fpga)
+		}
+	}
+}
+
+func TestParallelPathShape(t *testing.T) {
+	r := ParallelPath()
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The §7 regime: a small-domain column must scale with lanes — at
+	// least 2x merged throughput at 4 lanes (the acceptance bar), and
+	// monotonically increasing overall.
+	quantity := r.Raw["l_quantity/speedup"]
+	if quantity[2] < 2 {
+		t.Errorf("l_quantity speedup at 4 lanes = %.2fx, want >= 2x", quantity[2])
+	}
+	for i := 1; i < len(quantity); i++ {
+		if quantity[i] <= quantity[i-1] {
+			t.Errorf("l_quantity speedup not monotonic: %v", quantity)
+			break
+		}
+	}
+	// The divergence regime: a wide sparse domain pays an aggregation pass
+	// larger than the binning work, so lanes cannot reach 2x.
+	price := r.Raw["l_extendedprice/speedup"]
+	for _, s := range price {
+		if s >= 2 {
+			t.Errorf("l_extendedprice speedup %v should stay below 2x (aggregation-dominated)", price)
+			break
 		}
 	}
 }

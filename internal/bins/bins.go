@@ -155,6 +155,23 @@ func (v *Vector) Merge(other *Vector) error {
 	return nil
 }
 
+// MergeAll merges any number of identically configured vectors into a fresh
+// vector — the software form of the adder tree that aggregates replicated
+// Binner memories (§7). The inputs are not modified. At least one vector is
+// required; it defines the geometry the rest must match.
+func MergeAll(vs ...*Vector) (*Vector, error) {
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("bins: MergeAll needs at least one vector")
+	}
+	out := FromCounts(vs[0].Min, vs[0].Divisor, make([]int64, len(vs[0].counts)))
+	for _, v := range vs {
+		if err := out.Merge(v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Build bin-sorts values into a fresh vector sized to their range; the
 // software-reference equivalent of the Binner module.
 func Build(values []int64, divisor int64) *Vector {

@@ -265,3 +265,36 @@ func TestTotalInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMergeAll(t *testing.T) {
+	mk := func(vals ...int64) *Vector {
+		v := NewVector(0, 9, 1)
+		for _, x := range vals {
+			v.Add(x)
+		}
+		return v
+	}
+	a, b, c := mk(1, 1, 3), mk(2, 3), mk()
+	merged, err := MergeAll(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Total() != 5 {
+		t.Errorf("total = %d, want 5", merged.Total())
+	}
+	for v, want := range map[int64]int64{1: 2, 2: 1, 3: 2} {
+		if got := merged.CountValue(v); got != want {
+			t.Errorf("count(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Inputs untouched.
+	if a.Total() != 3 || b.Total() != 2 || c.Total() != 0 {
+		t.Error("MergeAll modified an input vector")
+	}
+	if _, err := MergeAll(); err == nil {
+		t.Error("MergeAll() with no inputs should error")
+	}
+	if _, err := MergeAll(a, NewVector(0, 19, 1)); err == nil {
+		t.Error("mismatched geometry should not merge")
+	}
+}

@@ -50,6 +50,26 @@ type BinnerStats struct {
 // Seconds converts the completion time using the given clock.
 func (s BinnerStats) Seconds(clk hw.Clock) float64 { return clk.Seconds(s.Cycles) }
 
+// Merge combines the accounting of two lanes that ran concurrently: work
+// counters (items, drops, memory ops, cache traffic, stalls) add up, while
+// Cycles takes the maximum — parallel lanes finish when the slowest one
+// does, so the merged completion time is the critical path, not the sum.
+// The aggregation pass that folds the lanes' bin regions together is not
+// included here; see hw.AggregationCycles.
+func (s BinnerStats) Merge(o BinnerStats) BinnerStats {
+	s.Items += o.Items
+	s.Dropped += o.Dropped
+	s.MemReadOps += o.MemReadOps
+	s.MemWriteOps += o.MemWriteOps
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.StallCycles += o.StallCycles
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	return s
+}
+
 // ValuesPerSecond is the sustained update rate.
 func (s BinnerStats) ValuesPerSecond(clk hw.Clock) float64 {
 	sec := s.Seconds(clk)
@@ -101,6 +121,9 @@ type Binner struct {
 	latency      float64
 
 	stats BinnerStats
+	// merged accumulates the state folded in from other lanes via Merge;
+	// Finish combines it with this lane's own accounting.
+	merged BinnerStats
 }
 
 // NewBinner wires a Binner for the given preprocessor. The returned
@@ -210,14 +233,37 @@ func (b *Binner) PushAll(values []int64) {
 	}
 }
 
+// Merge folds another lane's state into b: bin counts add up (the §7 adder
+// tree over replicated memories) and the accounting merges per
+// BinnerStats.Merge, so a subsequent Finish reports the combined work with
+// the max-lane critical path as the completion cycle. Both binners must
+// share the same preprocessor geometry; other is left untouched and must
+// not receive further Pushes that are expected to show up in b.
+func (b *Binner) Merge(other *Binner) error {
+	if err := b.vec.Merge(other.vec); err != nil {
+		return err
+	}
+	b.merged = b.merged.Merge(other.snapshotStats())
+	return nil
+}
+
+// snapshotStats returns the lane's current accounting — own work plus
+// anything already folded in via Merge — without disturbing the lane.
+func (b *Binner) snapshotStats() BinnerStats {
+	s := b.stats
+	s.Cycles = int64(b.lastCommit + 0.5)
+	s.CacheHits = b.cache.Hits()
+	s.CacheMisses = b.cache.Misses()
+	return s.Merge(b.merged)
+}
+
 // Finish returns the binned view and final statistics. The completion cycle
 // is when the last write has committed — the moment the Binner "will send
 // the total count to the Histogram module, signaling that it finished".
+// After Merge the statistics cover every merged lane and Cycles is the
+// slowest lane's completion (see BinnerStats.Merge).
 func (b *Binner) Finish() (*bins.Vector, BinnerStats) {
-	b.stats.Cycles = int64(b.lastCommit + 0.5)
-	b.stats.CacheHits = b.cache.Hits()
-	b.stats.CacheMisses = b.cache.Misses()
-	return b.vec, b.stats
+	return b.vec, b.snapshotStats()
 }
 
 // Vector exposes the bin region (useful mid-stream for tests).

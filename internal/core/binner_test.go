@@ -247,3 +247,115 @@ func TestEquivalentTableRates(t *testing.T) {
 		t.Errorf("one-column equivalent = %v", oneCol)
 	}
 }
+
+func TestBinnerMergeMatchesSerial(t *testing.T) {
+	// Splitting a stream across lanes and merging must reproduce the serial
+	// bin counts exactly, with summed work counters and the max-lane
+	// completion cycle.
+	vals := datagen.Take(datagen.NewZipf(7, 0, 4096, 0.9, true), 50_000)
+
+	serial := binnerFor(t, 0, 4095, DefaultBinnerConfig())
+	serial.PushAll(vals)
+	serialVec, serialStats := serial.Finish()
+
+	lanes := make([]*Binner, 4)
+	for i := range lanes {
+		lanes[i] = binnerFor(t, 0, 4095, DefaultBinnerConfig())
+	}
+	for i, v := range vals {
+		lanes[i%len(lanes)].Push(v)
+	}
+	var maxLane int64
+	for _, l := range lanes[1:] {
+		_, ls := l.Finish()
+		if ls.Cycles > maxLane {
+			maxLane = ls.Cycles
+		}
+		if err := lanes[0].Merge(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vec, stats := lanes[0].Finish()
+
+	if vec.Total() != serialVec.Total() {
+		t.Fatalf("merged total %d != serial %d", vec.Total(), serialVec.Total())
+	}
+	for i, c := range serialVec.Counts() {
+		if vec.Counts()[i] != c {
+			t.Fatalf("bin %d: merged %d != serial %d", i, vec.Counts()[i], c)
+		}
+	}
+	if stats.Items != serialStats.Items {
+		t.Errorf("merged items %d != serial %d", stats.Items, serialStats.Items)
+	}
+	if stats.Cycles < maxLane {
+		t.Errorf("merged cycles %d below slowest merged lane %d", stats.Cycles, maxLane)
+	}
+	// Parallel lanes each see ~1/4 of the stream, so the critical path must
+	// be well below the serial completion time.
+	if stats.Cycles >= serialStats.Cycles {
+		t.Errorf("merged critical path %d not below serial %d", stats.Cycles, serialStats.Cycles)
+	}
+}
+
+func TestBinnerMergePartiallyFilledLanes(t *testing.T) {
+	// Lanes with wildly different fill levels — including an empty one —
+	// must merge into exact combined counts and critical-path cycles.
+	a := binnerFor(t, 0, 99, DefaultBinnerConfig())
+	b := binnerFor(t, 0, 99, DefaultBinnerConfig())
+	empty := binnerFor(t, 0, 99, DefaultBinnerConfig())
+	a.PushAll([]int64{1, 2, 3, 3, 200}) // one out-of-range drop
+	b.PushAll([]int64{3, 50})
+
+	_, as := a.Finish()
+	_, bs := b.Finish()
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	vec, stats := a.Finish()
+	if stats.Items != 6 || stats.Dropped != 1 {
+		t.Errorf("items=%d dropped=%d, want 6/1", stats.Items, stats.Dropped)
+	}
+	if got := vec.CountValue(3); got != 3 {
+		t.Errorf("count(3) = %d, want 3", got)
+	}
+	if vec.Total() != 6 {
+		t.Errorf("total = %d, want 6", vec.Total())
+	}
+	want := as.Cycles
+	if bs.Cycles > want {
+		want = bs.Cycles
+	}
+	if stats.Cycles != want {
+		t.Errorf("merged cycles %d, want max-lane %d", stats.Cycles, want)
+	}
+	if stats.MemWriteOps != as.MemWriteOps+bs.MemWriteOps {
+		t.Errorf("write ops %d, want %d", stats.MemWriteOps, as.MemWriteOps+bs.MemWriteOps)
+	}
+}
+
+func TestBinnerMergeRejectsMismatchedGeometry(t *testing.T) {
+	a := binnerFor(t, 0, 99, DefaultBinnerConfig())
+	b := binnerFor(t, 0, 199, DefaultBinnerConfig())
+	if err := a.Merge(b); err == nil {
+		t.Error("mismatched geometry should not merge")
+	}
+}
+
+func TestBinnerStatsMerge(t *testing.T) {
+	a := BinnerStats{Items: 10, Dropped: 1, MemReadOps: 5, MemWriteOps: 10, CacheHits: 5, CacheMisses: 5, StallCycles: 3, Cycles: 700}
+	b := BinnerStats{Items: 4, MemReadOps: 4, MemWriteOps: 4, CacheMisses: 4, Cycles: 900}
+	m := a.Merge(b)
+	if m.Items != 14 || m.Dropped != 1 || m.MemReadOps != 9 || m.MemWriteOps != 14 {
+		t.Errorf("work counters wrong: %+v", m)
+	}
+	if m.CacheHits != 5 || m.CacheMisses != 9 || m.StallCycles != 3 {
+		t.Errorf("cache/stall counters wrong: %+v", m)
+	}
+	if m.Cycles != 900 {
+		t.Errorf("cycles = %d, want max 900", m.Cycles)
+	}
+}

@@ -99,20 +99,17 @@ func (s ParallelStats) ValuesPerSecond(clk hw.Clock) float64 {
 func (p *ParallelBinner) Finish() (*bins.Vector, ParallelStats, error) {
 	merged := bins.FromCounts(p.geom.Min, p.geom.Divisor, make([]int64, p.geom.NumBins))
 	var stats ParallelStats
-	var slowest int64
+	laneCycles := make([]int64, 0, len(p.binners))
 	for _, b := range p.binners {
 		vec, bs := b.Finish()
 		stats.PerBinner = append(stats.PerBinner, bs)
-		if bs.Cycles > slowest {
-			slowest = bs.Cycles
-		}
+		laneCycles = append(laneCycles, bs.Cycles)
 		if err := merged.Merge(vec); err != nil {
 			return nil, ParallelStats{}, err
 		}
 	}
-	binsPerLine := int64(hw.DefaultBinsPerLine)
-	stats.AggregationCycles = (int64(p.geom.NumBins) + binsPerLine - 1) / binsPerLine
-	stats.Cycles = slowest + stats.AggregationCycles
+	stats.AggregationCycles = hw.AggregationCycles(int(p.geom.NumBins), hw.DefaultBinsPerLine)
+	stats.Cycles = hw.CriticalPath(laneCycles, stats.AggregationCycles)
 	return merged, stats, nil
 }
 

@@ -29,10 +29,10 @@ func TestHistogramEqual(t *testing.T) {
 	}
 
 	mutations := map[string]func(*Histogram){
-		"kind":     func(h *Histogram) { h.Kind = MaxDiff },
-		"total":    func(h *Histogram) { h.Total++ },
-		"distinct": func(h *Histogram) { h.DistinctTotal-- },
-		"frequent": func(h *Histogram) { h.Frequent[0].Count++ },
+		"kind":           func(h *Histogram) { h.Kind = MaxDiff },
+		"total":          func(h *Histogram) { h.Total++ },
+		"distinct":       func(h *Histogram) { h.DistinctTotal-- },
+		"frequent":       func(h *Histogram) { h.Frequent[0].Count++ },
 		"fewer frequent": func(h *Histogram) { h.Frequent = nil },
 		"bucket bound":   func(h *Histogram) { h.Buckets[0].High = 8 },
 		"extra bucket":   func(h *Histogram) { h.Buckets = append(h.Buckets, Bucket{Low: 10, High: 11}) },

@@ -117,6 +117,37 @@ func (m MemParams) OpsCyclePeriod(clk Clock) float64 {
 	return float64(clk.Hz) / float64(m.RandomOpsPerSec)
 }
 
+// AggregationCycles returns the cost of merging replicated bin regions into
+// one before histogram creation (§7, Future Work): the regions live in
+// separate memories and are streamed out in lockstep, one line per cycle per
+// region, with the adds happening line-parallel in logic. The cost is
+// therefore ⌈Δ/binsPerLine⌉ cycles — independent of how many replicas are
+// merged. binsPerLine <= 0 falls back to the platform default.
+func AggregationCycles(numBins int, binsPerLine int) int64 {
+	if numBins <= 0 {
+		return 0
+	}
+	if binsPerLine <= 0 {
+		binsPerLine = DefaultBinsPerLine
+	}
+	return (int64(numBins) + int64(binsPerLine) - 1) / int64(binsPerLine)
+}
+
+// CriticalPath returns the completion cycle of a parallel fan-in: every lane
+// runs concurrently, so the merged state is ready when the slowest lane has
+// committed its last write plus the aggregation pass over the bin regions.
+// This is the merged-lane analogue of the single-lane completion cycle that
+// feeds the Table 2 arithmetic.
+func CriticalPath(laneCycles []int64, aggregationCycles int64) int64 {
+	var slowest int64
+	for _, c := range laneCycles {
+		if c > slowest {
+			slowest = c
+		}
+	}
+	return slowest + aggregationCycles
+}
+
 // FIFO is a bounded queue of int64 payloads, the decoupling element between
 // pipeline stages (the read→update queue of §5.1.2). A capacity of zero
 // means unbounded.

@@ -183,3 +183,33 @@ func TestCacheCoversLatencyWindow(t *testing.T) {
 		t.Errorf("latency window holds %d items but cache has only %d lines", itemsInFlight, lines)
 	}
 }
+
+func TestAggregationCycles(t *testing.T) {
+	// Δ=4096 bins at 8 bins per line: 512 lockstep line reads, regardless
+	// of replica count.
+	if c := AggregationCycles(4096, DefaultBinsPerLine); c != 512 {
+		t.Errorf("AggregationCycles(4096) = %d, want 512", c)
+	}
+	// Partial last line rounds up.
+	if c := AggregationCycles(9, 8); c != 2 {
+		t.Errorf("AggregationCycles(9) = %d, want 2", c)
+	}
+	// Zero-size region costs nothing; default bins-per-line kicks in for
+	// non-positive line sizes.
+	if c := AggregationCycles(0, 8); c != 0 {
+		t.Errorf("AggregationCycles(0) = %d, want 0", c)
+	}
+	if c := AggregationCycles(16, 0); c != 2 {
+		t.Errorf("AggregationCycles(16, default) = %d, want 2", c)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	if c := CriticalPath([]int64{100, 350, 200}, 12); c != 362 {
+		t.Errorf("CriticalPath = %d, want 362", c)
+	}
+	// No lanes: just the aggregation pass.
+	if c := CriticalPath(nil, 7); c != 7 {
+		t.Errorf("CriticalPath(nil) = %d, want 7", c)
+	}
+}

@@ -15,6 +15,7 @@ type metrics struct {
 	parseErrors   atomic.Int64
 	accelCycles   atomic.Int64
 	activeConns   atomic.Int64
+	laneMerges    atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of the server counters.
@@ -40,6 +41,12 @@ type MetricsSnapshot struct {
 	AccelCycles int64
 	// ActiveConns is the number of currently registered connections.
 	ActiveConns int64
+	// ShardLanes is the configured side-path fan-out: how many parallel
+	// Parser+Binner lanes each served scan shards its page frames across.
+	ShardLanes int64
+	// LaneMerges counts binner-state merges performed at side-path fan-in
+	// (ShardLanes-1 per refreshed scan).
+	LaneMerges int64
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -55,5 +62,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ParseErrors:         s.metrics.parseErrors.Load(),
 		AccelCycles:         s.metrics.accelCycles.Load(),
 		ActiveConns:         s.metrics.activeConns.Load(),
+		ShardLanes:          int64(s.cfg.ShardLanes),
+		LaneMerges:          s.metrics.laneMerges.Load(),
 	}
 }

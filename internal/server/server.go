@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -30,10 +31,15 @@ type Config struct {
 	// it just skips the side path (fail open, §4: the accelerator must
 	// never slow the regular flow of data).
 	DrainWorkers int
-	// SideBufDepth is the per-scan side-channel depth in frames. A full
+	// SideBufDepth is the per-lane side-channel depth in frames. A full
 	// buffer applies backpressure to that scan, bounding memory instead of
 	// dropping values, so a refreshed histogram is always complete.
 	SideBufDepth int
+	// ShardLanes is how many parallel Parser+Binner lanes each scan's side
+	// path fans out to (the §7 replication design). Frames are distributed
+	// round-robin across the lanes and the lanes' binner states are merged
+	// before histogram creation. 0 means GOMAXPROCS.
+	ShardLanes int
 	// PagesPerFrame sets how many 8 KiB page images ride in one FramePages.
 	PagesPerFrame int
 	// IdleTimeout bounds the wait for the next request on a connection.
@@ -55,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SideBufDepth <= 0 {
 		c.SideBufDepth = 8
+	}
+	if c.ShardLanes <= 0 {
+		c.ShardLanes = runtime.GOMAXPROCS(0)
 	}
 	if c.PagesPerFrame <= 0 {
 		c.PagesPerFrame = 16
@@ -541,25 +550,38 @@ func (s *Server) handleList(conn net.Conn, bw *bufio.Writer) error {
 	return bw.Flush()
 }
 
-// sidePath is one scan's splitter copy: frames are duplicated into a
-// fixed-depth channel and a drain worker (one of the bounded pool) runs the
-// Parser→Binner pipeline over them while the serving goroutine keeps
-// streaming. Closing the channel and waiting on done is the barrier after
-// which the binned view is complete.
+// sideLane is one shard of a scan's side path: a private Parser+Binner pair
+// consuming page frames from its own channel. Frames always hold whole
+// pages (handleScan reads in page multiples) and the Parser FSM resets at
+// page boundaries, so lanes never share parser state.
+type sideLane struct {
+	parser *core.Parser
+	binner *core.Binner
+	ch     chan *[]byte
+
+	// parseErr is written only by the lane goroutine, read after done.
+	parseErr error
+	done     chan struct{}
+}
+
+// sidePath is one scan's splitter copy: frames are duplicated and dealt
+// round-robin across ShardLanes lanes, each running the Parser→Binner
+// pipeline while the serving goroutine keeps streaming. At finish the lane
+// states fan back in — bin vectors merge via core.Binner.Merge and the
+// completion cycle is the max-lane critical path plus one aggregation pass
+// (hw.CriticalPath) — before the unchanged histogram chain runs. Closing
+// the lane channels and waiting on done is the barrier after which the
+// merged binned view is complete.
 type sidePath struct {
 	s     *Server
 	entry *tableEntry
 	req   ScanRequest
 
-	parser *core.Parser
-	binner *core.Binner
-	clock  hw.Clock
+	lanes []*sideLane
+	next  int // round-robin cursor, serving goroutine only
+	clock hw.Clock
 
-	ch   chan *[]byte
-	done chan struct{}
-
-	parseErr error
-	stopped  bool
+	stopped bool
 }
 
 // startSidePath acquires a drain worker and wires the side path, or returns
@@ -579,80 +601,118 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta)
 		s.metrics.sideSkipped.Add(1)
 		return nil
 	}
-	pre, err := core.RangeFor(meta.min, meta.max, 1)
-	if err != nil {
-		<-s.drainSem
-		s.metrics.sideSkipped.Add(1)
-		return nil
-	}
 	sp := &sidePath{
-		s:      s,
-		entry:  entry,
-		req:    req,
-		parser: core.NewParser(meta.spec),
-		binner: core.NewBinner(s.cfg.Binner, pre),
-		clock:  s.cfg.Binner.Clock,
-		ch:     make(chan *[]byte, s.cfg.SideBufDepth),
-		done:   make(chan struct{}),
+		s:     s,
+		entry: entry,
+		req:   req,
+		clock: s.cfg.Binner.Clock,
+		lanes: make([]*sideLane, s.cfg.ShardLanes),
 	}
-	go sp.run()
+	for i := range sp.lanes {
+		pre, err := core.RangeFor(meta.min, meta.max, 1)
+		if err != nil {
+			<-s.drainSem
+			s.metrics.sideSkipped.Add(1)
+			return nil
+		}
+		sp.lanes[i] = &sideLane{
+			parser: core.NewParser(meta.spec),
+			binner: core.NewBinner(s.cfg.Binner, pre),
+			ch:     make(chan *[]byte, s.cfg.SideBufDepth),
+			done:   make(chan struct{}),
+		}
+		go sp.run(sp.lanes[i])
+	}
 	return sp
 }
 
-// feed hands the drain worker a copy of one relayed frame. A full channel
-// blocks — per-scan backpressure with a fixed memory bound.
+// feed hands the next lane a copy of one relayed frame, round-robin. A full
+// lane channel blocks — per-scan backpressure with a fixed memory bound
+// (ShardLanes × SideBufDepth frames).
 func (sp *sidePath) feed(b []byte) {
 	bufp := sp.s.bufPool.Get().(*[]byte)
 	*bufp = append((*bufp)[:0], b...)
-	sp.ch <- bufp
+	sp.lanes[sp.next].ch <- bufp
+	sp.next++
+	if sp.next == len(sp.lanes) {
+		sp.next = 0
+	}
 }
 
-// run is the drain worker: the Parser FSM walks the copied page bytes and
-// the Binner bin-sorts every extracted value, exactly as in stream.Tap but
-// decoupled from the wire by the channel.
-func (sp *sidePath) run() {
-	defer close(sp.done)
+// run is one lane's drain worker: the Parser FSM walks the copied page
+// bytes and the Binner bin-sorts every extracted value, exactly as in
+// stream.Tap but decoupled from the wire by the lane channel.
+func (sp *sidePath) run(l *sideLane) {
+	defer close(l.done)
 	var vals []int64
-	for bufp := range sp.ch {
-		if sp.parseErr == nil {
+	for bufp := range l.ch {
+		if l.parseErr == nil {
 			var err error
-			vals, err = sp.parser.Feed(*bufp, vals[:0])
+			vals, err = l.parser.Feed(*bufp, vals[:0])
 			if err != nil {
-				sp.parseErr = err
+				l.parseErr = err
 			} else {
-				sp.binner.PushAll(vals)
+				l.binner.PushAll(vals)
 			}
 		}
 		sp.s.bufPool.Put(bufp)
 	}
 }
 
-// stop closes the side channel, waits for the drain worker, and releases
+// stop closes the lane channels, waits for every drain worker, and releases
 // the pool slot. Idempotent; called from the serving goroutine only.
 func (sp *sidePath) stop() {
 	if sp.stopped {
 		return
 	}
 	sp.stopped = true
-	close(sp.ch)
-	<-sp.done
+	for _, l := range sp.lanes {
+		close(l.ch)
+	}
+	for _, l := range sp.lanes {
+		<-l.done
+	}
 	<-sp.s.drainSem
 }
 
-// finish completes the side path: it runs the histogram chain over the
-// binned view, installs the Compressed histogram in the catalog, and
-// reports the scan's statistics yield plus the simulated hardware cost.
+// finish completes the side path: it fans the lane states back in (merged
+// bin counts, max-lane critical path plus one aggregation pass), runs the
+// histogram chain over the merged view, installs the Compressed histogram
+// in the catalog, and reports the scan's statistics yield plus the
+// simulated hardware cost.
 func (sp *sidePath) finish() (rows uint64, refreshed bool, cycles uint64, seconds float64) {
 	sp.stop()
-	if sp.parseErr != nil {
-		// Fail open: the client got its bytes; only the refresh is lost.
-		sp.s.metrics.parseErrors.Add(1)
-		return 0, false, 0, 0
+	for _, l := range sp.lanes {
+		if l.parseErr != nil {
+			// Fail open: the client got its bytes; only the refresh is lost.
+			sp.s.metrics.parseErrors.Add(1)
+			return 0, false, 0, 0
+		}
 	}
-	vec, bstats := sp.binner.Finish()
+	laneCycles := make([]int64, len(sp.lanes))
+	for i, l := range sp.lanes {
+		_, ls := l.binner.Finish()
+		laneCycles[i] = ls.Cycles
+	}
+	merged := sp.lanes[0].binner
+	for _, l := range sp.lanes[1:] {
+		if err := merged.Merge(l.binner); err != nil {
+			// Lanes share one geometry, so this cannot happen; treat it
+			// like a parse failure and fail open.
+			sp.s.metrics.parseErrors.Add(1)
+			return 0, false, 0, 0
+		}
+	}
+	sp.s.metrics.laneMerges.Add(int64(len(sp.lanes) - 1))
+	vec, bstats := merged.Finish()
 	if bstats.Items == 0 {
 		return 0, false, 0, 0
 	}
+	var agg int64
+	if len(sp.lanes) > 1 {
+		agg = hw.AggregationCycles(vec.NumBins(), sp.s.cfg.Binner.Mem.BinsPerLine)
+	}
+	bstats.Cycles = hw.CriticalPath(laneCycles, agg)
 	comp := core.NewCompressedBlock(sp.s.cfg.TopK, sp.s.cfg.Buckets, vec.Total())
 	chain := core.NewScanner().Run(vec, comp)
 	h := &hist.Histogram{

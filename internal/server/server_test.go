@@ -336,3 +336,116 @@ func TestRegisterReplaceMarksStatsStale(t *testing.T) {
 		t.Fatalf("refreshed stats: version=%d rows=%d, want 1/150", st2.Version, st2.RowCount)
 	}
 }
+
+// TestShardedSidePathEqualsSerial pins the merge-correctness property at
+// the serving layer: with the side path explicitly fanned out across four
+// lanes (more than this host may have cores), concurrent served scans must
+// install exactly the histogram the serial in-process DataPath computes,
+// and the metrics must report the shard configuration and the fan-in merge
+// work.
+func TestShardedSidePathEqualsSerial(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rel := testRelation(4000)
+
+	srv := server.New(server.Config{DrainWorkers: 8, ShardLanes: 4})
+	if err := srv.Register(rel); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	addr, shutdown := startServer(t, srv)
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			sum, err := c.Scan("synthetic", "c2", io.Discard)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if sum.Rows != uint64(rel.NumRows()) {
+				errs <- errors.New("sharded side path binned the wrong number of rows")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	dp, err := stream.NewDataPath(rel, "c2", stream.GigabitEthernet)
+	if err != nil {
+		t.Fatalf("data path: %v", err)
+	}
+	ref, err := dp.Scan(io.Discard, 0)
+	if err != nil {
+		t.Fatalf("data path scan: %v", err)
+	}
+	cs := srv.Catalog().Get("synthetic", "c2")
+	if cs == nil || !cs.Histogram.Equal(ref.Results.Compressed) {
+		t.Fatal("sharded catalog histogram does not equal the serial data-path histogram")
+	}
+
+	m := srv.Metrics()
+	if m.ShardLanes != 4 {
+		t.Fatalf("ShardLanes = %d, want 4", m.ShardLanes)
+	}
+	// Every refreshed scan merges ShardLanes-1 lane states.
+	if want := m.HistogramsRefreshed * 3; m.LaneMerges != want {
+		t.Fatalf("LaneMerges = %d, want %d (refreshed=%d)", m.LaneMerges, want, m.HistogramsRefreshed)
+	}
+	if m.HistogramsRefreshed == 0 || m.AccelCycles <= 0 {
+		t.Fatalf("no sharded refresh accounted: %+v", m)
+	}
+
+	if err := shutdown(); err != server.ErrServerClosed {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wantLeakFree(t, base)
+}
+
+// TestShardLanesOneMatchesMultiLane checks the lane count is functionally
+// invisible: one lane and many lanes must install identical statistics for
+// the same relation.
+func TestShardLanesOneMatchesMultiLane(t *testing.T) {
+	rel := testRelation(3000)
+	install := func(lanes int) *server.Server {
+		srv := server.New(server.Config{ShardLanes: lanes})
+		if err := srv.Register(rel); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		addr, shutdown := startServer(t, srv)
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if _, err := c.Scan("synthetic", "c3", io.Discard); err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		c.Close()
+		if err := shutdown(); err != server.ErrServerClosed {
+			t.Fatalf("shutdown: %v", err)
+		}
+		return srv
+	}
+	one := install(1).Catalog().Get("synthetic", "c3")
+	eight := install(8).Catalog().Get("synthetic", "c3")
+	if one == nil || eight == nil {
+		t.Fatal("missing catalog entries")
+	}
+	if !one.Histogram.Equal(eight.Histogram) {
+		t.Fatal("1-lane and 8-lane scans installed different histograms")
+	}
+	if one.NDistinct != eight.NDistinct || one.RowCount != eight.RowCount {
+		t.Fatal("1-lane and 8-lane scans installed different metadata")
+	}
+}

@@ -1,0 +1,243 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"streamhist/internal/core"
+	"streamhist/internal/hw"
+	"streamhist/internal/page"
+	"streamhist/internal/table"
+)
+
+// ParallelDataPath is the sharded form of DataPath, the software analogue of
+// the §7 scale-up design (Figure 23): the splitter distributes the page
+// stream across N replicated Parser+Binner lanes, each accumulating partial
+// counts in its own memory, and the partial states are merged before the
+// unchanged Histogram module runs. Whole pages are the distribution unit —
+// the Parser FSM resets at page boundaries, so lanes never share row state —
+// and because bin counts are order-insensitive the merged view is exactly
+// the serial DataPath's view.
+//
+// The host-visible path is untouched: bytes are still relayed to the host in
+// storage order; only the statistical side path fans out.
+type ParallelDataPath struct {
+	Rel    *table.Relation
+	Column string
+	Link   Link
+	Config core.Config
+	// Shards is the number of parallel lanes; <= 0 means GOMAXPROCS.
+	Shards int
+	// ChunkPages is how many pages ride in one fan-out unit (default 16).
+	// Larger chunks amortise dispatch overhead; any positive size is
+	// functionally equivalent.
+	ChunkPages int
+}
+
+// NewParallelDataPath builds a sharded path with the default accelerator
+// configuration for the column's observed value range. shards <= 0 picks
+// GOMAXPROCS lanes.
+func NewParallelDataPath(rel *table.Relation, column string, link Link, shards int) (*ParallelDataPath, error) {
+	dp, err := NewDataPath(rel, column, link)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelDataPath{
+		Rel:    dp.Rel,
+		Column: dp.Column,
+		Link:   dp.Link,
+		Config: dp.Config,
+		Shards: shards,
+	}, nil
+}
+
+// ParallelScanResult extends ScanResult with the fan-in accounting.
+type ParallelScanResult struct {
+	ScanResult
+	// Shards is the number of lanes that ran.
+	Shards int
+	// PerShard is each lane's own cycle accounting, in lane order.
+	PerShard []core.BinnerStats
+	// AggregationCycles is the line-parallel merge cost of the lanes' bin
+	// regions (hw.AggregationCycles); zero for a single lane, which needs
+	// no fan-in.
+	AggregationCycles int64
+	// CriticalPathCycles is the merged binning completion: the slowest
+	// lane plus the aggregation pass. Results.BinnerStats.Cycles equals
+	// this, so the Table 2 downstream arithmetic is unchanged.
+	CriticalPathCycles int64
+}
+
+// lane is one shard of the side path: a private Parser and Binner consuming
+// page chunks from its own channel.
+type lane struct {
+	parser *core.Parser
+	binner *core.Binner
+	ch     chan []*page.Page
+	err    error // parse error; written before done closes
+	done   chan struct{}
+}
+
+func (l *lane) run() {
+	defer close(l.done)
+	var vals []int64
+	for chunk := range l.ch {
+		if l.err != nil {
+			continue // drain: a poisoned lane fails open, never blocks feeders
+		}
+		for _, pg := range chunk {
+			var err error
+			vals, err = l.parser.Feed(pg.Bytes(), vals[:0])
+			if err != nil {
+				l.err = err
+				break
+			}
+			l.binner.PushAll(vals)
+		}
+	}
+}
+
+// Scan streams the relation to the host in page order while fanning page
+// chunks out to the shard lanes round-robin, then fans the lane states back
+// in: bin vectors merge via core.Binner.Merge and the completion cycle
+// becomes the max-lane critical path plus the aggregation pass. The
+// histogram chain then runs over the merged view exactly as in the serial
+// path, so the produced histograms are hist.Equal to DataPath.Scan's.
+func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelScanResult, error) {
+	shards := d.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if chunkPages <= 0 {
+		chunkPages = d.ChunkPages
+	}
+	if chunkPages <= 0 {
+		chunkPages = 16
+	}
+
+	pre := func() (*core.Preprocessor, error) {
+		return core.RangeFor(d.Config.Min, d.Config.Max, d.Config.Divisor)
+	}
+
+	lanes := make([]*lane, shards)
+	var wg sync.WaitGroup
+	for i := range lanes {
+		p, err := pre()
+		if err != nil {
+			return nil, err
+		}
+		lanes[i] = &lane{
+			parser: core.NewParser(d.Config.Column),
+			binner: core.NewBinner(d.Config.Binner, p),
+			ch:     make(chan []*page.Page, 4),
+			done:   make(chan struct{}),
+		}
+		wg.Add(1)
+		go func(l *lane) {
+			defer wg.Done()
+			l.run()
+		}(lanes[i])
+	}
+
+	// Fan out: the host gets every byte in storage order; lanes get whole
+	// pages round-robin, chunked to amortise channel traffic.
+	pages := page.Encode(d.Rel)
+	var hostBytes int64
+	var writeErr error
+	for off, next := 0, 0; off < len(pages); off += chunkPages {
+		end := off + chunkPages
+		if end > len(pages) {
+			end = len(pages)
+		}
+		chunk := pages[off:end]
+		if writeErr == nil {
+			for _, pg := range chunk {
+				n, err := hostSink.Write(pg.Bytes())
+				hostBytes += int64(n)
+				if err != nil {
+					writeErr = fmt.Errorf("stream: host copy: %w", err)
+					break
+				}
+			}
+		}
+		lanes[next].ch <- chunk
+		next = (next + 1) % shards
+	}
+
+	// Fan in: close the lanes, wait, surface side-path errors, merge.
+	for _, l := range lanes {
+		close(l.ch)
+	}
+	wg.Wait()
+	if writeErr != nil {
+		return nil, writeErr
+	}
+
+	perShard := make([]core.BinnerStats, shards)
+	laneCycles := make([]int64, shards)
+	for i, l := range lanes {
+		if l.err != nil {
+			return nil, fmt.Errorf("stream: side path (lane %d): %w", i, l.err)
+		}
+		_, perShard[i] = l.binner.Finish()
+		laneCycles[i] = perShard[i].Cycles
+	}
+	merged := lanes[0].binner
+	for _, l := range lanes[1:] {
+		if err := merged.Merge(l.binner); err != nil {
+			return nil, fmt.Errorf("stream: lane merge: %w", err)
+		}
+	}
+	vec, mstats := merged.Finish()
+
+	// A single lane needs no adder tree, so its accounting matches the
+	// serial DataPath exactly; with several lanes the fan-in pays one
+	// aggregation pass over the bin regions. When Δ is large relative to
+	// the per-lane work (sparse, wide-domain columns) this pass can
+	// dominate and sharding stops paying — the model makes that visible
+	// rather than hiding it.
+	var agg int64
+	if shards > 1 {
+		agg = hw.AggregationCycles(vec.NumBins(), d.Config.Binner.Mem.BinsPerLine)
+	}
+	mstats.Cycles = hw.CriticalPath(laneCycles, agg)
+
+	blocks := blocksFor(d.Config, vec)
+	chain := core.NewScanner().Run(vec, blocks.list...)
+
+	clk := d.Config.Binner.Clock
+	if clk.Hz == 0 {
+		clk = hw.NewClock(hw.DefaultClockHz)
+	}
+	res := &core.Results{
+		Bins:        vec,
+		BinnerStats: mstats,
+		Chain:       chain,
+	}
+	res.BinningSeconds = mstats.Seconds(clk)
+	res.HistogramSeconds = chain.Seconds(clk)
+	res.TotalSeconds = d.Config.ParseLatencyMicros*1e-6 + res.BinningSeconds + res.HistogramSeconds
+	res.HostPathAddedSeconds = d.Config.Splitter.AddedLatencySeconds()
+	blocks.fill(res, vec)
+
+	transfer := float64(hostBytes) / d.Link.BytesPerSec
+	rowWidth := float64(d.Rel.Schema.RowWidth())
+	arrival := d.Link.BytesPerSec / rowWidth
+	kept := mstats.ValuesPerSecond(clk) >= arrival || mstats.Items == 0
+
+	return &ParallelScanResult{
+		ScanResult: ScanResult{
+			HostBytes:           hostBytes,
+			Results:             res,
+			TransferSeconds:     transfer,
+			AddedLatencySeconds: d.Config.Splitter.AddedLatencySeconds(),
+			AcceleratorKeptUp:   kept,
+		},
+		Shards:             shards,
+		PerShard:           perShard,
+		AggregationCycles:  agg,
+		CriticalPathCycles: mstats.Cycles,
+	}, nil
+}

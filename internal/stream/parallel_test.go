@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"streamhist/internal/hist"
+	"streamhist/internal/page"
+	"streamhist/internal/tpch"
+)
+
+// TestParallelDataPathEqualsSerial is the central merge-correctness
+// property: for every shard count, the sharded path must produce histograms
+// hist.Equal to the serial DataPath, with identical bin counts and totals —
+// binning is order-insensitive, so fan-out/fan-in must be invisible in the
+// functional output.
+func TestParallelDataPathEqualsSerial(t *testing.T) {
+	rel := tpch.Lineitem(30_000, 1, 11)
+
+	dp, err := NewDataPath(rel, "l_extendedprice", PCIeGen1x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := dp.Scan(io.Discard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 3, 4, 7, 8, 16} {
+		pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunkPages := range []int{1, 5, 16} {
+			res, err := pdp.Scan(io.Discard, chunkPages)
+			if err != nil {
+				t.Fatalf("shards=%d chunk=%d: %v", shards, chunkPages, err)
+			}
+			if res.Shards != shards {
+				t.Fatalf("ran %d shards, want %d", res.Shards, shards)
+			}
+			if got, want := res.Results.Bins.Total(), serial.Results.Bins.Total(); got != want {
+				t.Fatalf("shards=%d chunk=%d: total %d != serial %d", shards, chunkPages, got, want)
+			}
+			for _, pair := range []struct {
+				name string
+				p, s *hist.Histogram
+			}{
+				{"equidepth", res.Results.EquiDepth, serial.Results.EquiDepth},
+				{"maxdiff", res.Results.MaxDiff, serial.Results.MaxDiff},
+				{"compressed", res.Results.Compressed, serial.Results.Compressed},
+			} {
+				if !pair.p.Equal(pair.s) {
+					t.Errorf("shards=%d chunk=%d: %s histogram differs from serial", shards, chunkPages, pair.name)
+				}
+			}
+			if len(res.Results.TopK) != len(serial.Results.TopK) {
+				t.Errorf("shards=%d: topk length %d != %d", shards, len(res.Results.TopK), len(serial.Results.TopK))
+			} else {
+				for i, f := range serial.Results.TopK {
+					if res.Results.TopK[i] != f {
+						t.Errorf("shards=%d: topk[%d] = %+v != %+v", shards, i, res.Results.TopK[i], f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDataPathHostStreamUnchanged checks the cut-through property
+// survives sharding: the host still receives exactly the storage bytes, in
+// storage order.
+func TestParallelDataPathHostStreamUnchanged(t *testing.T) {
+	rel := tpch.Lineitem(10_000, 1, 12)
+	var want []byte
+	for _, pg := range page.Encode(rel) {
+		want = append(want, pg.Bytes()...)
+	}
+	pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var host bytes.Buffer
+	res, err := pdp.Scan(&host, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostBytes != int64(len(want)) {
+		t.Fatalf("host received %d bytes, want %d", res.HostBytes, len(want))
+	}
+	if !bytes.Equal(host.Bytes(), want) {
+		t.Error("sharded path changed the host stream")
+	}
+}
+
+// TestParallelDataPathCycleAccounting checks the fan-in arithmetic: the
+// merged completion is the slowest lane plus the aggregation pass, per-shard
+// items sum to the serial item count, and more lanes shorten the simulated
+// critical path (the whole point of replication, §7).
+func TestParallelDataPathCycleAccounting(t *testing.T) {
+	// l_quantity has a small domain, so Δ (and the aggregation pass) is
+	// tiny relative to the binning work and lane replication pays off —
+	// the regime the §7 scale-up design targets.
+	rel := tpch.Lineitem(40_000, 1, 13)
+
+	scan := func(shards int) *ParallelScanResult {
+		pdp, err := NewParallelDataPath(rel, "l_quantity", PCIeGen1x8, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pdp.Scan(io.Discard, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	one := scan(1)
+	four := scan(4)
+
+	if len(four.PerShard) != 4 {
+		t.Fatalf("PerShard has %d entries", len(four.PerShard))
+	}
+	var items, maxLane int64
+	for _, s := range four.PerShard {
+		items += s.Items
+		if s.Cycles > maxLane {
+			maxLane = s.Cycles
+		}
+	}
+	if items != one.Results.BinnerStats.Items {
+		t.Errorf("per-shard items sum %d != serial %d", items, one.Results.BinnerStats.Items)
+	}
+	if want := maxLane + four.AggregationCycles; four.CriticalPathCycles != want {
+		t.Errorf("critical path %d != max-lane %d + aggregation %d", four.CriticalPathCycles, maxLane, four.AggregationCycles)
+	}
+	if four.Results.BinnerStats.Cycles != four.CriticalPathCycles {
+		t.Errorf("BinnerStats.Cycles %d != CriticalPathCycles %d", four.Results.BinnerStats.Cycles, four.CriticalPathCycles)
+	}
+	if four.CriticalPathCycles >= one.CriticalPathCycles {
+		t.Errorf("4 lanes not faster than 1: %d >= %d cycles", four.CriticalPathCycles, one.CriticalPathCycles)
+	}
+	// The acceptance bar: at least 2× simulated binning throughput at 4
+	// lanes. Round-robin distribution keeps the lanes balanced, so the
+	// critical path should be close to a quarter of the single lane.
+	if ratio := float64(one.Results.BinnerStats.Cycles) / float64(four.Results.BinnerStats.Cycles); ratio < 2 {
+		t.Errorf("4-shard speedup %.2fx < 2x", ratio)
+	}
+}
