@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"streamhist/internal/client"
+	"streamhist/internal/faults"
 	"streamhist/internal/server"
 	"streamhist/internal/tpch"
 )
@@ -57,10 +58,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  histserved serve  [-addr :7744] [-rows N] [-seed S]   serve demo tables
+  histserved serve  [-addr :7744] [-rows N] [-seed S] [-chaos profile] [-chaos-seed S]
   histserved tables [-addr host:port]                   list served tables
   histserved scan   [-addr host:port] [-o file] <table> <column>
-  histserved stats  [-addr host:port] <table> <column>`)
+  histserved stats  [-addr host:port] <table> <column>
+
+chaos profiles (deterministic fault injection; for testing the fail-open
+posture — never enable in production): corruption-heavy, lane-failure-heavy,
+network-flaky`)
 }
 
 func runServe(args []string) error {
@@ -69,9 +74,21 @@ func runServe(args []string) error {
 	rows := fs.Int("rows", 200_000, "rows per demo table")
 	seed := fs.Uint64("seed", 42, "data generator seed")
 	workers := fs.Int("workers", 0, "drain worker pool size (0 = default)")
+	chaos := fs.String("chaos", "", "fault-injection profile (corruption-heavy, lane-failure-heavy, network-flaky)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed")
 	fs.Parse(args)
 
-	srv := server.New(server.Config{DrainWorkers: *workers})
+	cfg := server.Config{DrainWorkers: *workers}
+	if *chaos != "" {
+		profile, err := faults.ByName(*chaos)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = faults.New(*chaosSeed, profile)
+		fmt.Printf("histserved: CHAOS MODE — injecting %q faults (seed %d); expect Degraded scans\n",
+			*chaos, *chaosSeed)
+	}
+	srv := server.New(cfg)
 	if err := srv.Register(tpch.Lineitem(*rows, 1, *seed)); err != nil {
 		return err
 	}
@@ -92,6 +109,10 @@ func runServe(args []string) error {
 	m := srv.Metrics()
 	fmt.Printf("histserved: served %d scans (%d pages, %.1f MiB), refreshed %d histograms, %d stats requests\n",
 		m.ScansServed, m.PagesMoved, float64(m.BytesMoved)/(1<<20), m.HistogramsRefreshed, m.StatsServed)
+	if m.ScansDegraded > 0 || m.PagesQuarantined > 0 || m.LanesRetired > 0 || m.RetriesServed > 0 {
+		fmt.Printf("histserved: degraded %d scans (quarantined %d pages, retired %d lanes, served %d resumes)\n",
+			m.ScansDegraded, m.PagesQuarantined, m.LanesRetired, m.RetriesServed)
+	}
 	if err == server.ErrServerClosed {
 		return nil
 	}
@@ -125,17 +146,25 @@ func runScan(args []string) error {
 		defer f.Close()
 		sink = f
 	}
+	c.SetRedial(func() (net.Conn, error) { return net.Dial("tcp", *addr) })
 	sum, err := c.Scan(fs.Arg(0), fs.Arg(1), sink)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("scanned %s.%s: %d pages, %d bytes, %d rows binned\n",
 		fs.Arg(0), fs.Arg(1), sum.Pages, sum.Bytes, sum.Rows)
+	if sum.Retries > 0 {
+		fmt.Printf("scan resumed %d time(s) after mid-stream failures; every delivered page verified\n", sum.Retries)
+	}
 	if sum.Refreshed {
 		fmt.Printf("histogram refreshed as a side effect: %d accelerator cycles (%.3f ms simulated)\n",
 			sum.AccelCycles, sum.AccelSeconds*1e3)
+		if sum.Degraded {
+			fmt.Printf("histogram is DEGRADED: %d tuples skipped (%d pages quarantined, %d lanes retired)\n",
+				sum.SkippedTuples, sum.QuarantinedPages, sum.LanesRetired)
+		}
 	} else {
-		fmt.Println("histogram not refreshed (no column, empty column, or saturated side path)")
+		fmt.Println("histogram not refreshed (no column, resumed scan, faults, or saturated side path)")
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package bins
+
+import "testing"
+
+// Degenerate lane counts that the parallel path can legitimately produce:
+// a fleet reduced to a single lane, and lanes that saw no tuples at all.
+
+func TestMergeAllZeroLanes(t *testing.T) {
+	if v, err := MergeAll(); err == nil {
+		t.Fatalf("MergeAll with zero lanes returned %v, want error", v)
+	}
+}
+
+func TestMergeAllSingleEmptyLane(t *testing.T) {
+	empty := NewVector(0, 9, 1)
+	merged, err := MergeAll(empty)
+	if err != nil {
+		t.Fatalf("MergeAll(single empty): %v", err)
+	}
+	if merged.Total() != 0 {
+		t.Fatalf("total %d from an empty lane", merged.Total())
+	}
+	if merged.NumBins() != empty.NumBins() || merged.Min != empty.Min || merged.Divisor != empty.Divisor {
+		t.Fatalf("merged shape (%d bins, min %d, div %d) does not match input",
+			merged.NumBins(), merged.Min, merged.Divisor)
+	}
+	// The result must be a fresh vector, not an alias of the lone input.
+	merged.Add(3)
+	if empty.Total() != 0 {
+		t.Fatal("MergeAll aliased its single input")
+	}
+}
+
+func TestMergeAllSingleLanePreservesCounts(t *testing.T) {
+	lane := NewVector(10, 29, 10)
+	for _, x := range []int64{10, 15, 22, 29, 29} {
+		lane.Add(x)
+	}
+	merged, err := MergeAll(lane)
+	if err != nil {
+		t.Fatalf("MergeAll(single lane): %v", err)
+	}
+	if merged.Total() != lane.Total() {
+		t.Fatalf("total %d != %d", merged.Total(), lane.Total())
+	}
+	for i := 0; i < lane.NumBins(); i++ {
+		if merged.Count(i) != lane.Count(i) {
+			t.Fatalf("bin %d: %d != %d", i, merged.Count(i), lane.Count(i))
+		}
+	}
+}
+
+func TestMergeAllEmptyLanesAmongFull(t *testing.T) {
+	full := NewVector(0, 4, 1)
+	for _, x := range []int64{0, 1, 1, 4} {
+		full.Add(x)
+	}
+	e1, e2 := NewVector(0, 4, 1), NewVector(0, 4, 1)
+	merged, err := MergeAll(e1, full, e2)
+	if err != nil {
+		t.Fatalf("MergeAll with empty lanes interleaved: %v", err)
+	}
+	if merged.Total() != full.Total() {
+		t.Fatalf("total %d != %d — empty lanes must be no-ops", merged.Total(), full.Total())
+	}
+}

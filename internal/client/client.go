@@ -5,12 +5,14 @@ package client
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"time"
 
 	"streamhist/internal/hist"
+	"streamhist/internal/page"
 	"streamhist/internal/server"
 )
 
@@ -22,6 +24,10 @@ type Client struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	timeout time.Duration
+
+	redial      func() (net.Conn, error)
+	maxAttempts int
+	backoff     time.Duration
 }
 
 // Dial connects to a histserved address.
@@ -46,6 +52,43 @@ func New(conn net.Conn) *Client {
 // SetTimeout bounds each request round-trip and each response frame read.
 // Zero disables deadlines.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetRedial installs a reconnect function, enabling resumable scans: when a
+// scan dies mid-stream (connection reset, timeout) or a page arrives with a
+// bad checksum, the client redials and re-requests the scan from the first
+// page it has not yet verifiably delivered, backing off exponentially
+// between attempts. Without a redial function every such failure is final.
+func (c *Client) SetRedial(f func() (net.Conn, error)) {
+	c.redial = f
+	if c.maxAttempts == 0 {
+		c.maxAttempts = 8
+	}
+	if c.backoff == 0 {
+		c.backoff = 2 * time.Millisecond
+	}
+}
+
+// SetRetryPolicy tunes resumable-scan behaviour: a scan is abandoned after
+// attempts consecutive tries that deliver no new verified pages (tries that
+// make progress do not consume the budget), with the given backoff before
+// the first retry, doubling after each fruitless one.
+func (c *Client) SetRetryPolicy(attempts int, backoff time.Duration) {
+	c.maxAttempts = attempts
+	c.backoff = backoff
+}
+
+// reconnect swaps in a fresh connection from the redial function.
+func (c *Client) reconnect() error {
+	conn, err := c.redial()
+	if err != nil {
+		return fmt.Errorf("client: redial: %w", err)
+	}
+	c.conn.Close()
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -83,16 +126,72 @@ func (c *Client) recv() (server.Frame, error) {
 // ScanSummary reports one completed scan from the client's side.
 type ScanSummary = server.ScanSummary
 
+// errBadPage marks a checksum failure on a received page: retryable when a
+// redial function is installed, final otherwise.
+var errBadPage = fmt.Errorf("client: page failed checksum in flight")
+
 // Scan streams table's raw pages into sink — byte-identical to what storage
 // holds — and returns the server's end-of-scan summary. Pass column "" to
 // move the data without refreshing any statistics; pass io.Discard as sink
 // when only the side effect matters.
+//
+// Checksummed frames are verified page by page and only verified pages ever
+// reach the sink, so what the sink holds is always a clean prefix of the
+// relation. When a redial function is installed (SetRedial), a mid-scan
+// failure — reset, timeout, or a corrupt page — restarts the scan from the
+// first undelivered page with exponential backoff; the returned summary then
+// covers the whole logical scan, with Retries recording the reconnects.
 func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error) {
-	req := server.EncodeScanRequest(server.ScanRequest{Table: table, Column: column})
+	var (
+		delivered uint64 // verified pages written to sink, all attempts
+		bytesOut  uint64
+		retries   uint32
+		stalled   int // consecutive attempts that delivered nothing new
+	)
+	backoff := c.backoff
+	for {
+		before := delivered
+		sum, err := c.scanAttempt(table, column, sink, &delivered, &bytesOut)
+		if err == nil {
+			sum.Pages = uint32(delivered)
+			sum.Bytes = bytesOut
+			sum.Retries = retries
+			return sum, nil
+		}
+		if delivered > before {
+			// Forward progress: the failure budget is for getting stuck,
+			// not for how often a long scan trips, so it resets — the loop
+			// still terminates, because progress is bounded by the table.
+			stalled = 0
+			backoff = c.backoff
+		} else {
+			stalled++
+		}
+		if c.redial == nil || stalled >= c.maxAttempts {
+			return nil, err
+		}
+		retries++
+		time.Sleep(backoff)
+		backoff *= 2
+		if rerr := c.reconnect(); rerr != nil {
+			return nil, fmt.Errorf("%w (reconnect failed: %v)", err, rerr)
+		}
+	}
+}
+
+// scanAttempt runs one scan request starting at *delivered pages, sinking
+// every page it can verify and advancing the cursors as it goes. Any error
+// return leaves the cursors at the resume point.
+func (c *Client) scanAttempt(table, column string, sink io.Writer, delivered, bytesOut *uint64) (*ScanSummary, error) {
+	req := server.EncodeScanRequest(server.ScanRequest{
+		Table:  table,
+		Column: column,
+		Offset: uint32(*delivered),
+	})
 	if err := c.send(server.FrameScan, req); err != nil {
 		return nil, fmt.Errorf("client: sending SCAN: %w", err)
 	}
-	var received uint64
+	var received uint64 // page bytes this attempt, as the server counts them
 	for {
 		f, err := c.recv()
 		if err != nil {
@@ -100,6 +199,7 @@ func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error
 		}
 		switch f.Type {
 		case server.FramePages:
+			// Legacy unchecksummed frames: nothing to verify, sink as-is.
 			if len(f.Payload) == 0 {
 				return nil, fmt.Errorf("client: %w: empty pages frame", server.ErrBadFrame)
 			}
@@ -107,6 +207,31 @@ func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error
 				return nil, fmt.Errorf("client: writing to sink: %w", err)
 			}
 			received += uint64(len(f.Payload))
+			*bytesOut += uint64(len(f.Payload))
+			*delivered += uint64(len(f.Payload) / page.Size)
+		case server.FramePagesCk:
+			unit := page.Size + server.PageChecksumSize
+			n := len(f.Payload) / unit
+			if n == 0 || len(f.Payload)%unit != 0 {
+				return nil, fmt.Errorf("client: %w: pages+ck frame of %d bytes", server.ErrBadFrame, len(f.Payload))
+			}
+			trailer := f.Payload[n*page.Size:]
+			for i := 0; i < n; i++ {
+				img := f.Payload[i*page.Size : (i+1)*page.Size]
+				want := binary.LittleEndian.Uint32(trailer[i*4:])
+				if page.Checksum(img) != want {
+					// The page was damaged in flight. Everything verified
+					// so far is already safely in the sink; abandon the
+					// attempt here so a retry resumes at exactly this page.
+					return nil, fmt.Errorf("%w (page %d of %s)", errBadPage, *delivered, table)
+				}
+				if _, err := sink.Write(img); err != nil {
+					return nil, fmt.Errorf("client: writing to sink: %w", err)
+				}
+				*delivered++
+				*bytesOut += page.Size
+			}
+			received += uint64(n * page.Size)
 		case server.FrameScanEnd:
 			sum, err := server.DecodeScanSummary(f.Payload)
 			if err != nil {

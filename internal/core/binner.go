@@ -2,6 +2,7 @@ package core
 
 import (
 	"streamhist/internal/bins"
+	"streamhist/internal/faults"
 	"streamhist/internal/hw"
 )
 
@@ -18,6 +19,12 @@ type BinnerConfig struct {
 	// often a new item can enter the PREPROCESS stage. Two cycles per item
 	// yields the 75 M values/s "Pipeline (Ideal)" row of Table 1.
 	PipelineCyclesPerItem float64
+	// Faults, when non-nil, routes every bin update through the ECC-checked
+	// hw.Memory model so the injector's hw.mem.* points apply. Injected
+	// single-bit upsets are corrected for free; uncorrectable upsets zero
+	// the bin and surface as BinnerStats.BinsQuarantined so a histogram
+	// built over the view can be marked degraded instead of silently wrong.
+	Faults *faults.Injector
 }
 
 // DefaultBinnerConfig returns the paper's prototype parameters.
@@ -45,6 +52,13 @@ type BinnerStats struct {
 	// Cycles is the completion time: the cycle at which the last write
 	// commits to memory.
 	Cycles int64
+	// FaultsCorrected counts injected memory upsets that ECC repaired; the
+	// binned view is still exact when only this counter is nonzero.
+	FaultsCorrected int64
+	// BinsQuarantined counts bins lost to uncorrectable memory upsets
+	// (zeroed rather than served wrong); nonzero means the view is
+	// incomplete and any histogram built over it must be marked degraded.
+	BinsQuarantined int64
 }
 
 // Seconds converts the completion time using the given clock.
@@ -64,6 +78,8 @@ func (s BinnerStats) Merge(o BinnerStats) BinnerStats {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.StallCycles += o.StallCycles
+	s.FaultsCorrected += o.FaultsCorrected
+	s.BinsQuarantined += o.BinsQuarantined
 	if o.Cycles > s.Cycles {
 		s.Cycles = o.Cycles
 	}
@@ -105,6 +121,9 @@ type Binner struct {
 	cache *hw.Cache
 
 	vec *bins.Vector
+	// mem is the ECC-checked memory model, wired only when cfg.Faults is
+	// set; finalizeMem folds it back into vec before the view is read.
+	mem *hw.Memory
 
 	pipeTime float64 // pipeline front time, cycles
 	opTime   float64 // memory port budget time, cycles
@@ -139,11 +158,16 @@ func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
 		cfg.PipelineCyclesPerItem = float64(hw.DefaultClockHz) / 75_000_000
 	}
 	vec := bins.FromCounts(pre.Min, pre.Divisor, make([]int64, pre.NumBins))
+	var mem *hw.Memory
+	if cfg.Faults != nil {
+		mem = hw.NewMemory(int(pre.NumBins), cfg.Faults)
+	}
 	return &Binner{
 		cfg:               cfg,
 		pre:               pre,
 		cache:             hw.NewCache(cfg.CacheBytes, hw.LineBytes),
 		vec:               vec,
+		mem:               mem,
 		pendingLineCommit: make(map[int64]float64),
 		randomPeriod:      float64(cfg.Clock.Hz) / float64(cfg.Mem.RandomOpsPerSec),
 		burstPeriod:       float64(cfg.Clock.Hz) / float64(cfg.Mem.BurstOpsPerSec),
@@ -194,8 +218,15 @@ func (b *Binner) Push(value int64) {
 		b.stats.MemReadOps++
 	}
 
-	// UPDATE: increment the bin (the functional effect).
-	b.vec.AddCount(b.pre.Min+addr*b.pre.Divisor, 1)
+	// UPDATE: increment the bin (the functional effect). Under fault
+	// injection the update goes through the ECC-checked memory model and
+	// an injected latency spike stretches this item's commit.
+	var spike float64
+	if b.mem != nil {
+		spike = float64(b.mem.Increment(addr))
+	} else {
+		b.vec.AddCount(b.pre.Min+addr*b.pre.Divisor, 1)
+	}
 
 	// WRITE: write-through. Ops to recently touched (cached) lines go at
 	// burst rate; cold lines pay the random-access rate. The write op only
@@ -207,7 +238,7 @@ func (b *Binner) Push(value int64) {
 	}
 	b.opTime += period
 	writeIssue := maxf(b.opTime, dataReady)
-	commit := writeIssue + b.latency
+	commit := writeIssue + b.latency + spike
 	b.stats.MemWriteOps++
 	b.pendingLineCommit[line] = commit
 	if commit > b.lastCommit {
@@ -240,11 +271,27 @@ func (b *Binner) PushAll(values []int64) {
 // share the same preprocessor geometry; other is left untouched and must
 // not receive further Pushes that are expected to show up in b.
 func (b *Binner) Merge(other *Binner) error {
+	b.finalizeMem()
+	other.finalizeMem()
 	if err := b.vec.Merge(other.vec); err != nil {
 		return err
 	}
 	b.merged = b.merged.Merge(other.snapshotStats())
 	return nil
+}
+
+// finalizeMem folds the ECC-checked memory model (if one is wired) back
+// into the plain bin vector: the final scrub pass corrects what it can,
+// quarantines what it cannot, and the fault counters move into the lane's
+// statistics. Idempotent; a no-op without fault injection.
+func (b *Binner) finalizeMem() {
+	if b.mem == nil {
+		return
+	}
+	b.vec = bins.FromCounts(b.pre.Min, b.pre.Divisor, b.mem.Counts())
+	b.stats.FaultsCorrected = b.mem.Corrected()
+	b.stats.BinsQuarantined = b.mem.Quarantined()
+	b.mem = nil
 }
 
 // snapshotStats returns the lane's current accounting — own work plus
@@ -263,11 +310,16 @@ func (b *Binner) snapshotStats() BinnerStats {
 // After Merge the statistics cover every merged lane and Cycles is the
 // slowest lane's completion (see BinnerStats.Merge).
 func (b *Binner) Finish() (*bins.Vector, BinnerStats) {
+	b.finalizeMem()
 	return b.vec, b.snapshotStats()
 }
 
-// Vector exposes the bin region (useful mid-stream for tests).
-func (b *Binner) Vector() *bins.Vector { return b.vec }
+// Vector exposes the bin region (useful mid-stream for tests). Under fault
+// injection this finalizes the ECC scrub first.
+func (b *Binner) Vector() *bins.Vector {
+	b.finalizeMem()
+	return b.vec
+}
 
 // CacheHitRate returns the hit rate of the on-chip cache so far.
 func (b *Binner) CacheHitRate() float64 { return b.cache.HitRate() }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"streamhist/internal/faults"
+)
+
+func faultBinner(t *testing.T, inj *faults.Injector) *Binner {
+	t.Helper()
+	pre, err := RangeFor(0, 255, 1)
+	if err != nil {
+		t.Fatalf("RangeFor: %v", err)
+	}
+	cfg := DefaultBinnerConfig()
+	cfg.Faults = inj
+	return NewBinner(cfg, pre)
+}
+
+// Read-path upsets are always corrected by ECC, so the binned view stays
+// exactly equal to the fault-free run and only FaultsCorrected moves.
+func TestBinnerReadFlipsStayExact(t *testing.T) {
+	vals := make([]int64, 3000)
+	for i := range vals {
+		vals[i] = int64(i % 256)
+	}
+
+	clean := faultBinner(t, nil)
+	clean.PushAll(vals)
+	wantVec, _ := clean.Finish()
+
+	inj := faults.New(5, faults.Profile{faults.MemReadFlip: 0.3, faults.MemLatencySpike: 0.1})
+	b := faultBinner(t, inj)
+	b.PushAll(vals)
+	vec, stats := b.Finish()
+
+	for i := 0; i < vec.NumBins(); i++ {
+		if vec.Count(i) != wantVec.Count(i) {
+			t.Fatalf("bin %d: %d != fault-free %d", i, vec.Count(i), wantVec.Count(i))
+		}
+	}
+	if stats.FaultsCorrected == 0 {
+		t.Fatal("no corrections recorded despite 30% read-flip rate")
+	}
+	if stats.BinsQuarantined != 0 {
+		t.Fatalf("read flips must never quarantine, got %d", stats.BinsQuarantined)
+	}
+}
+
+// Write-path upsets either leave an exact view (everything corrected) or
+// quarantine bins — in which case the loss must be visible through
+// BinsQuarantined and a reduced total. No silent third state.
+func TestBinnerWriteFlipsNeverSilent(t *testing.T) {
+	vals := make([]int64, 2000)
+	for i := range vals {
+		vals[i] = int64(i % 64)
+	}
+	for seed := uint64(0); seed < 25; seed++ {
+		inj := faults.New(seed, faults.Profile{faults.MemWriteFlip: 0.02})
+		b := faultBinner(t, inj)
+		b.PushAll(vals)
+		vec, stats := b.Finish()
+		switch {
+		case stats.BinsQuarantined == 0:
+			if vec.Total() != int64(len(vals)) {
+				t.Fatalf("seed %d: total %d != %d with no quarantine", seed, vec.Total(), len(vals))
+			}
+		default:
+			if vec.Total() >= int64(len(vals)) {
+				t.Fatalf("seed %d: quarantined %d bins yet total %d not reduced",
+					seed, stats.BinsQuarantined, vec.Total())
+			}
+		}
+	}
+}
+
+// Latency spikes must stretch the completion cycle without touching counts.
+func TestBinnerLatencySpikesOnlyCostCycles(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i % 100)
+	}
+	clean := faultBinner(t, nil)
+	clean.PushAll(vals)
+	cleanVec, cleanStats := clean.Finish()
+
+	inj := faults.New(9, faults.Profile{faults.MemLatencySpike: 0.5})
+	b := faultBinner(t, inj)
+	b.PushAll(vals)
+	vec, stats := b.Finish()
+
+	if vec.Total() != cleanVec.Total() {
+		t.Fatalf("spikes changed the total: %d != %d", vec.Total(), cleanVec.Total())
+	}
+	if stats.Cycles <= cleanStats.Cycles {
+		t.Fatalf("50%% spike rate did not stretch completion: %d <= %d", stats.Cycles, cleanStats.Cycles)
+	}
+}
+
+// Fault counters must survive a lane merge, and merging a faulted lane into
+// a clean one keeps the combined view consistent.
+func TestBinnerMergeCarriesFaultCounters(t *testing.T) {
+	vals := make([]int64, 1500)
+	for i := range vals {
+		vals[i] = int64(i % 32)
+	}
+	inj := faults.New(2, faults.Profile{faults.MemReadFlip: 0.4})
+	a := faultBinner(t, nil)
+	b := faultBinner(t, inj)
+	a.PushAll(vals)
+	b.PushAll(vals)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	vec, stats := a.Finish()
+	if vec.Total() != int64(2*len(vals)) {
+		t.Fatalf("merged total %d, want %d", vec.Total(), 2*len(vals))
+	}
+	if stats.FaultsCorrected == 0 {
+		t.Fatal("merge dropped the faulted lane's corrected counter")
+	}
+}
+
+// ---- satellite: degenerate merge inputs (zero work, empty lanes) ----
+
+// Merging a lane that binned nothing must be an exact no-op on the counts
+// and must not disturb the receiving lane's completion cycle.
+func TestBinnerMergeEmptyLane(t *testing.T) {
+	vals := []int64{1, 2, 3, 4, 5, 5, 5}
+	a := faultBinner(t, nil)
+	a.PushAll(vals)
+	empty := faultBinner(t, nil)
+
+	_, before := a.Finish()
+	if err := a.Merge(empty); err != nil {
+		t.Fatalf("merge empty: %v", err)
+	}
+	vec, after := a.Finish()
+	if vec.Total() != int64(len(vals)) {
+		t.Fatalf("total %d after empty merge, want %d", vec.Total(), len(vals))
+	}
+	if after.Items != before.Items || after.Cycles != before.Cycles {
+		t.Fatalf("empty merge disturbed stats: %+v -> %+v", before, after)
+	}
+}
+
+// Two empty lanes merge into an empty view with zero-valued stats.
+func TestBinnerMergeBothEmpty(t *testing.T) {
+	a := faultBinner(t, nil)
+	b := faultBinner(t, nil)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	vec, stats := a.Finish()
+	if vec.Total() != 0 || stats.Items != 0 || stats.Cycles != 0 {
+		t.Fatalf("empty+empty produced total=%d items=%d cycles=%d", vec.Total(), stats.Items, stats.Cycles)
+	}
+}
+
+// Merging into an empty lane (the reverse direction) adopts the populated
+// lane's counts and critical path.
+func TestBinnerMergeIntoEmptyLane(t *testing.T) {
+	vals := []int64{7, 7, 8, 9}
+	empty := faultBinner(t, nil)
+	full := faultBinner(t, nil)
+	full.PushAll(vals)
+	_, fullStats := full.Finish()
+
+	if err := empty.Merge(full); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	vec, stats := empty.Finish()
+	if vec.Total() != int64(len(vals)) {
+		t.Fatalf("total %d, want %d", vec.Total(), len(vals))
+	}
+	if stats.Items != fullStats.Items || stats.Cycles != fullStats.Cycles {
+		t.Fatalf("merged stats %+v do not adopt the populated lane's %+v", stats, fullStats)
+	}
+}

@@ -12,6 +12,9 @@ func (h *Histogram) Equal(other *Histogram) bool {
 	if h.Kind != other.Kind || h.Total != other.Total || h.DistinctTotal != other.DistinctTotal {
 		return false
 	}
+	if h.Degraded != other.Degraded || h.Skipped != other.Skipped {
+		return false
+	}
 	if len(h.Frequent) != len(other.Frequent) || len(h.Buckets) != len(other.Buckets) {
 		return false
 	}

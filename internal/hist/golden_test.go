@@ -1,0 +1,162 @@
+package hist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFixtures are the catalog payload shapes worth pinning: every field
+// populated, the degraded path, and the empty histogram.
+func goldenFixtures() map[string]*Histogram {
+	return map[string]*Histogram{
+		"compressed_full": {
+			Kind: Compressed,
+			Frequent: []FrequentValue{
+				{Value: 42, Count: 900},
+				{Value: 7, Count: 350},
+			},
+			Buckets: []Bucket{
+				{Low: 0, High: 99, Count: 500, Distinct: 80},
+				{Low: 100, High: 255, Count: 250, Distinct: 41},
+			},
+			Total:         2000,
+			DistinctTotal: 123,
+		},
+		"equidepth_degraded": {
+			Kind: EquiDepth,
+			Buckets: []Bucket{
+				{Low: -50, High: -1, Count: 400, Distinct: 50},
+				{Low: 0, High: 10, Count: 410, Distinct: 11},
+			},
+			Total:         810,
+			DistinctTotal: 61,
+			Degraded:      true,
+			Skipped:       190,
+		},
+		"equiwidth_empty": {
+			Kind: EquiWidth,
+		},
+	}
+}
+
+// writeV1 encodes h in the pre-robustness layout: kind byte straight after
+// the magic, no version, flags, or skipped fields. This is what seeded
+// catalogs on disk look like.
+func writeV1(h *Histogram) []byte {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	var tmp [8]byte
+	le.PutUint16(tmp[:2], serialMagic)
+	buf.Write(tmp[:2])
+	buf.WriteByte(byte(h.Kind))
+	le.PutUint64(tmp[:], uint64(h.Total))
+	buf.Write(tmp[:])
+	le.PutUint64(tmp[:], uint64(h.DistinctTotal))
+	buf.Write(tmp[:])
+	le.PutUint32(tmp[:4], uint32(len(h.Frequent)))
+	buf.Write(tmp[:4])
+	for _, f := range h.Frequent {
+		le.PutUint64(tmp[:], uint64(f.Value))
+		buf.Write(tmp[:])
+		le.PutUint64(tmp[:], uint64(f.Count))
+		buf.Write(tmp[:])
+	}
+	le.PutUint32(tmp[:4], uint32(len(h.Buckets)))
+	buf.Write(tmp[:4])
+	for _, b := range h.Buckets {
+		for _, v := range []int64{b.Low, b.High, b.Count, b.Distinct} {
+			le.PutUint64(tmp[:], uint64(v))
+			buf.Write(tmp[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: encoding drifted from golden file (%d bytes vs %d).\n"+
+			"If the format change is intentional, bump the version byte and add a new golden file.",
+			name, len(got), len(want))
+	}
+}
+
+// The v2 encoding of each fixture must match its pinned golden bytes and
+// decode back to an Equal histogram (including Degraded and Skipped).
+func TestGoldenRoundTrip(t *testing.T) {
+	for name, h := range goldenFixtures() {
+		t.Run(name, func(t *testing.T) {
+			data, err := h.MarshalBinary()
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			goldenCompare(t, name, data)
+			var back Histogram
+			if err := back.UnmarshalBinary(data); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !back.Equal(h) {
+				t.Fatalf("round trip drift:\n got %s\nwant %s", back.String(), h.String())
+			}
+			if back.Degraded != h.Degraded || back.Skipped != h.Skipped {
+				t.Fatalf("robustness fields lost: got (%v,%d) want (%v,%d)",
+					back.Degraded, back.Skipped, h.Degraded, h.Skipped)
+			}
+		})
+	}
+}
+
+// Old catalog payloads — v1 layout, no version byte — must keep decoding,
+// with the robustness fields zeroed.
+func TestGoldenV1Compatibility(t *testing.T) {
+	for name, h := range goldenFixtures() {
+		if h.Degraded {
+			continue // v1 cannot express a degraded histogram
+		}
+		t.Run(name, func(t *testing.T) {
+			v1 := writeV1(h)
+			goldenCompare(t, name+"_v1", v1)
+			var back Histogram
+			if err := back.UnmarshalBinary(v1); err != nil {
+				t.Fatalf("v1 payload rejected: %v", err)
+			}
+			if !back.Equal(h) {
+				t.Fatalf("v1 decode drift:\n got %s\nwant %s", back.String(), h.String())
+			}
+			if back.Degraded || back.Skipped != 0 {
+				t.Fatalf("v1 decode invented robustness fields: (%v,%d)", back.Degraded, back.Skipped)
+			}
+		})
+	}
+}
+
+// A degraded histogram re-encoded through v1 would silently lose its
+// Degraded mark; Equal must therefore distinguish the two.
+func TestEqualDistinguishesDegraded(t *testing.T) {
+	h := goldenFixtures()["equidepth_degraded"]
+	clean := *h
+	clean.Degraded = false
+	clean.Skipped = 0
+	if h.Equal(&clean) {
+		t.Fatal("Equal ignores the Degraded/Skipped fields")
+	}
+}

@@ -89,6 +89,14 @@ type Histogram struct {
 	Total int64
 	// DistinctTotal is the total number of distinct values summarised.
 	DistinctTotal int64
+	// Degraded marks a histogram whose side path hit faults it could not
+	// fully mask: quarantined bins, retired lanes, or skipped pages. The
+	// statistic is still well-formed and usable, but it may undercount.
+	// A non-degraded histogram is exact by construction.
+	Degraded bool
+	// Skipped is the number of tuples the side path could not account for
+	// when Degraded is set (corrupt pages plus quarantined bin mass).
+	Skipped int64
 }
 
 // String renders a compact human-readable description.
@@ -97,6 +105,9 @@ func (h *Histogram) String() string {
 	fmt.Fprintf(&b, "%s{total=%d distinct=%d", h.Kind, h.Total, h.DistinctTotal)
 	if len(h.Frequent) > 0 {
 		fmt.Fprintf(&b, " frequent=%d", len(h.Frequent))
+	}
+	if h.Degraded {
+		fmt.Fprintf(&b, " degraded(skipped=%d)", h.Skipped)
 	}
 	fmt.Fprintf(&b, " buckets=%d}", len(h.Buckets))
 	return b.String()
@@ -417,6 +428,8 @@ func (h *Histogram) Scale(factor float64) *Histogram {
 		Kind:          h.Kind,
 		Total:         int64(float64(h.Total) * factor),
 		DistinctTotal: h.DistinctTotal,
+		Degraded:      h.Degraded,
+		Skipped:       int64(float64(h.Skipped) * factor),
 		Buckets:       make([]Bucket, len(h.Buckets)),
 		Frequent:      make([]FrequentValue, len(h.Frequent)),
 	}

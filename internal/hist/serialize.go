@@ -8,25 +8,36 @@ import (
 	"sort"
 )
 
-// Binary serialisation for catalog persistence. The format is a compact
+// Binary serialisation for catalog persistence. Version 2 is a compact
 // little-endian layout:
 //
-//	magic  uint16  = 0x4853 ("HS")
-//	kind   uint8
-//	total, distinctTotal  int64
+//	magic   uint16  = 0x4853 ("HS")
+//	version uint8   = 0xF2
+//	kind    uint8
+//	flags   uint8   (bit 0: Degraded)
+//	total, distinctTotal, skipped  int64
 //	nFrequent uint32, then (value, count) int64 pairs
 //	nBuckets  uint32, then (low, high, count, distinct) int64 quadruples
 //
-// The encoding is versioned through the magic; it round-trips exactly.
+// Version 1 payloads (written before the robustness fields existed) had the
+// kind byte directly after the magic and no flags/skipped fields. Every
+// legal kind is ≤ TopFrequency (6) while the v2 version byte is ≥ 0x80, so
+// the byte at offset 2 disambiguates the two layouts and old catalog
+// entries keep decoding — with the new fields zeroed.
 
-const serialMagic uint16 = 0x4853
+const (
+	serialMagic    uint16 = 0x4853
+	serialVersion2 byte   = 0xF2
+
+	flagDegraded byte = 1 << 0
+)
 
 // ErrCorruptHistogram reports an undecodable byte stream.
 var ErrCorruptHistogram = errors.New("hist: corrupt serialized histogram")
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (h *Histogram) MarshalBinary() ([]byte, error) {
-	size := 2 + 1 + 16 + 4 + 16*len(h.Frequent) + 4 + 32*len(h.Buckets)
+	size := 2 + 1 + 1 + 1 + 24 + 4 + 16*len(h.Frequent) + 4 + 32*len(h.Buckets)
 	out := make([]byte, size)
 	off := 0
 	put16 := func(v uint16) {
@@ -42,10 +53,19 @@ func (h *Histogram) MarshalBinary() ([]byte, error) {
 		off += 8
 	}
 	put16(serialMagic)
+	out[off] = serialVersion2
+	off++
 	out[off] = byte(h.Kind)
+	off++
+	var flags byte
+	if h.Degraded {
+		flags |= flagDegraded
+	}
+	out[off] = flags
 	off++
 	put64(h.Total)
 	put64(h.DistinctTotal)
+	put64(h.Skipped)
 	put32(uint32(len(h.Frequent)))
 	for _, f := range h.Frequent {
 		put64(f.Value)
@@ -82,13 +102,36 @@ func (h *Histogram) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: bad magic", ErrCorruptHistogram)
 	}
 	off = 2
+	var degraded bool
+	var skipped int64
+	if data[off] >= 0x80 {
+		// Versioned layout; the only published version is 2.
+		if data[off] != serialVersion2 {
+			return fmt.Errorf("%w: unknown version %#x", ErrCorruptHistogram, data[off])
+		}
+		off++
+		if err := need(1 + 1 + 24 + 4); err != nil {
+			return err
+		}
+	}
 	kind := Kind(data[off])
 	if kind > TopFrequency {
 		return fmt.Errorf("%w: unknown kind %d", ErrCorruptHistogram, kind)
 	}
 	off++
+	if data[2] == serialVersion2 {
+		flags := data[off]
+		off++
+		if flags&^flagDegraded != 0 {
+			return fmt.Errorf("%w: unknown flags %#x", ErrCorruptHistogram, flags)
+		}
+		degraded = flags&flagDegraded != 0
+	}
 	total := get64()
 	distinct := get64()
+	if data[2] == serialVersion2 {
+		skipped = get64()
+	}
 	nf := int(binary.LittleEndian.Uint32(data[off:]))
 	off += 4
 	if err := need(16 * nf); err != nil {
@@ -123,7 +166,11 @@ func (h *Histogram) UnmarshalBinary(data []byte) error {
 	if len(buckets) == 0 {
 		buckets = nil
 	}
-	*h = Histogram{Kind: kind, Total: total, DistinctTotal: distinct, Frequent: freq, Buckets: buckets}
+	*h = Histogram{
+		Kind: kind, Total: total, DistinctTotal: distinct,
+		Degraded: degraded, Skipped: skipped,
+		Frequent: freq, Buckets: buckets,
+	}
 	return nil
 }
 

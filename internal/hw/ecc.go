@@ -1,0 +1,63 @@
+package hw
+
+import "math/bits"
+
+// SEC-DED protection for the 64-bit bin counters of the off-chip memory.
+// DDR3 DIMMs of the paper's era carry 8 check bits per 64-bit word; this is
+// the software model of that channel. The code is the classic
+// position-XOR construction: the 7-bit component is the XOR of the
+// (1-based) positions of every set data bit, so a single flipped bit shows
+// up as its own position in the syndrome and can be corrected in place; the
+// eighth bit is overall parity, which disambiguates single (odd) from
+// double (even) errors. Double errors are detected but not correctable —
+// the memory quarantines the word instead of serving a silently wrong
+// count.
+
+// ECC status codes returned by ECCCorrect.
+const (
+	// ECCOK means the word matched its check bits.
+	ECCOK = iota
+	// ECCCorrected means a single-bit error was repaired.
+	ECCCorrected
+	// ECCUncorrectable means a multi-bit error was detected; the word
+	// cannot be trusted.
+	ECCUncorrectable
+)
+
+// ECCEncode computes the 8 check bits for a 64-bit word.
+func ECCEncode(w uint64) uint8 {
+	var pos uint8
+	for x := w; x != 0; x &= x - 1 {
+		pos ^= uint8(bits.TrailingZeros64(x)+1) & 0x7f
+	}
+	parity := uint8(bits.OnesCount64(w) & 1)
+	return pos&0x7f | parity<<7
+}
+
+// ECCCorrect checks w against its stored check bits. It returns the
+// (possibly repaired) word and one of ECCOK, ECCCorrected, or
+// ECCUncorrectable.
+func ECCCorrect(w uint64, ecc uint8) (uint64, int) {
+	want := ECCEncode(w)
+	if want == ecc {
+		return w, ECCOK
+	}
+	dpos := (want ^ ecc) & 0x7f
+	dparity := (want ^ ecc) >> 7
+	if dparity == 1 {
+		// Odd number of flipped data bits; a single flip at position
+		// dpos-1 is the only correctable case.
+		if dpos >= 1 && dpos <= 64 {
+			return w ^ 1<<(dpos-1), ECCCorrected
+		}
+		return w, ECCUncorrectable
+	}
+	if dpos == 0 {
+		// Parity matches, positions match, yet ecc differs: impossible —
+		// covered by the want == ecc test above. Defensive.
+		return w, ECCUncorrectable
+	}
+	// Even number of flips (the injected double-bit upset): detected,
+	// not correctable.
+	return w, ECCUncorrectable
+}

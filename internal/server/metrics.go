@@ -16,6 +16,11 @@ type metrics struct {
 	accelCycles   atomic.Int64
 	activeConns   atomic.Int64
 	laneMerges    atomic.Int64
+
+	pagesQuarantined atomic.Int64
+	lanesRetired     atomic.Int64
+	scansDegraded    atomic.Int64
+	retriesServed    atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of the server counters.
@@ -47,6 +52,18 @@ type MetricsSnapshot struct {
 	// LaneMerges counts binner-state merges performed at side-path fan-in
 	// (ShardLanes-1 per refreshed scan).
 	LaneMerges int64
+	// PagesQuarantined counts side-path page copies that failed their
+	// storage checksum and were skipped by the binner.
+	PagesQuarantined int64
+	// LanesRetired counts side-path lanes abandoned after a panic or a
+	// stall past the supervision timeout.
+	LanesRetired int64
+	// ScansDegraded counts scans whose summary reported a degraded (or
+	// absent) statistics side effect while the raw stream completed.
+	ScansDegraded int64
+	// RetriesServed counts scans resumed from a nonzero page offset by a
+	// reconnecting client.
+	RetriesServed int64
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -64,5 +81,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ActiveConns:         s.metrics.activeConns.Load(),
 		ShardLanes:          int64(s.cfg.ShardLanes),
 		LaneMerges:          s.metrics.laneMerges.Load(),
+		PagesQuarantined:    s.metrics.pagesQuarantined.Load(),
+		LanesRetired:        s.metrics.lanesRetired.Load(),
+		ScansDegraded:       s.metrics.scansDegraded.Load(),
+		RetriesServed:       s.metrics.retriesServed.Load(),
 	}
 }

@@ -61,7 +61,17 @@ const (
 	FrameTables uint8 = 19
 	// FrameError reports a request failure: payload is a code and message.
 	FrameError uint8 = 20
+	// FramePagesCk carries raw page images followed by a checksum trailer:
+	// for N pages the payload is N×8 KiB of page bytes and then N
+	// little-endian uint32 CRC32C values, one per page, computed by storage
+	// at encode time. The page bytes themselves are identical to what a
+	// FramePages frame would carry — the trailer lets any consumer detect a
+	// page corrupted in flight without changing the data layout.
+	FramePagesCk uint8 = 21
 )
+
+// PageChecksumSize is the per-page trailer cost of a FramePagesCk frame.
+const PageChecksumSize = 4
 
 // ErrBadFrame reports a malformed frame or payload.
 var ErrBadFrame = errors.New("server: bad protocol frame")
@@ -217,16 +227,26 @@ func cutString(buf []byte) (string, []byte, error) {
 type ScanRequest struct {
 	Table  string
 	Column string
+	// Offset is the page index to start streaming from: a client resuming
+	// an interrupted scan passes the number of pages it already holds. A
+	// zero offset is a full scan and encodes identically to the original
+	// request layout, so old peers interoperate.
+	Offset uint32
 }
 
 // EncodeScanRequest serialises a request payload.
 func EncodeScanRequest(req ScanRequest) []byte {
-	out := make([]byte, 0, 4+len(req.Table)+len(req.Column))
+	out := make([]byte, 0, 8+len(req.Table)+len(req.Column))
 	out = appendString(out, req.Table)
-	return appendString(out, req.Column)
+	out = appendString(out, req.Column)
+	if req.Offset > 0 {
+		out = binary.LittleEndian.AppendUint32(out, req.Offset)
+	}
+	return out
 }
 
-// DecodeScanRequest parses a request payload.
+// DecodeScanRequest parses a request payload. The optional trailing uint32
+// is the resume offset; its absence (the legacy layout) means zero.
 func DecodeScanRequest(buf []byte) (ScanRequest, error) {
 	table, rest, err := cutString(buf)
 	if err != nil {
@@ -236,13 +256,18 @@ func DecodeScanRequest(buf []byte) (ScanRequest, error) {
 	if err != nil {
 		return ScanRequest{}, err
 	}
-	if len(rest) != 0 {
+	var offset uint32
+	switch len(rest) {
+	case 0:
+	case 4:
+		offset = binary.LittleEndian.Uint32(rest)
+	default:
 		return ScanRequest{}, fmt.Errorf("%w: %d trailing bytes in request", ErrBadFrame, len(rest))
 	}
 	if table == "" {
 		return ScanRequest{}, fmt.Errorf("%w: empty table name", ErrBadFrame)
 	}
-	return ScanRequest{Table: table, Column: column}, nil
+	return ScanRequest{Table: table, Column: column, Offset: offset}, nil
 }
 
 // ScanSummary closes a scan: what moved and what the movement bought.
@@ -255,46 +280,87 @@ type ScanSummary struct {
 	Rows uint64
 	// Refreshed reports whether the scan installed a fresh histogram.
 	Refreshed bool
+	// Degraded reports that the side effect of this scan is incomplete: the
+	// side path was skipped, cancelled, cut short by faults, or the
+	// installed histogram undercounts. The page stream itself is unaffected
+	// — degradation is strictly a statistics-quality signal. An undegraded
+	// refreshed summary promises an exact histogram.
+	Degraded bool
 	// AccelCycles is the simulated accelerator completion time for this
 	// scan (binning pipeline + histogram chain), in clock cycles.
 	AccelCycles uint64
 	// AccelSeconds is AccelCycles at the configured clock.
 	AccelSeconds float64
+	// SkippedTuples counts column values the side path could not bin
+	// (quarantined pages plus bin-memory losses) when Degraded is set.
+	SkippedTuples uint64
+	// QuarantinedPages counts pages the side path rejected on checksum.
+	QuarantinedPages uint32
+	// LanesRetired counts side-path lanes the supervisor removed.
+	LanesRetired uint32
+	// Retries is not carried on the wire: the client fills it in with the
+	// number of reconnect-and-resume rounds it needed to complete the scan.
+	Retries uint32
 }
+
+// scanSummary sizes: the legacy layout and the extended one. The decoder
+// accepts both so old capture files and peers keep working.
+const (
+	scanSummaryV1Size = 37
+	scanSummaryV2Size = 53
+)
+
+// Summary flag bits (byte 20 of the encoding). The legacy layout stored a
+// 0/1 refreshed boolean in the same byte, so bit 0 is backward compatible.
+const (
+	summaryFlagRefreshed byte = 1 << 0
+	summaryFlagDegraded  byte = 1 << 1
+)
 
 // EncodeScanSummary serialises a FrameScanEnd payload.
 func EncodeScanSummary(s ScanSummary) []byte {
-	out := make([]byte, 0, 37)
+	out := make([]byte, 0, scanSummaryV2Size)
 	out = binary.LittleEndian.AppendUint32(out, s.Pages)
 	out = binary.LittleEndian.AppendUint64(out, s.Bytes)
 	out = binary.LittleEndian.AppendUint64(out, s.Rows)
+	var flags byte
 	if s.Refreshed {
-		out = append(out, 1)
-	} else {
-		out = append(out, 0)
+		flags |= summaryFlagRefreshed
 	}
+	if s.Degraded {
+		flags |= summaryFlagDegraded
+	}
+	out = append(out, flags)
 	out = binary.LittleEndian.AppendUint64(out, s.AccelCycles)
-	return binary.LittleEndian.AppendUint64(out, math.Float64bits(s.AccelSeconds))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.AccelSeconds))
+	out = binary.LittleEndian.AppendUint64(out, s.SkippedTuples)
+	out = binary.LittleEndian.AppendUint32(out, s.QuarantinedPages)
+	return binary.LittleEndian.AppendUint32(out, s.LanesRetired)
 }
 
-// DecodeScanSummary parses a FrameScanEnd payload.
+// DecodeScanSummary parses a FrameScanEnd payload, legacy or extended.
 func DecodeScanSummary(buf []byte) (ScanSummary, error) {
-	if len(buf) != 37 {
-		return ScanSummary{}, fmt.Errorf("%w: scan summary is %d bytes, want 37", ErrBadFrame, len(buf))
+	if len(buf) != scanSummaryV1Size && len(buf) != scanSummaryV2Size {
+		return ScanSummary{}, fmt.Errorf("%w: scan summary is %d bytes, want %d or %d",
+			ErrBadFrame, len(buf), scanSummaryV1Size, scanSummaryV2Size)
 	}
 	var s ScanSummary
 	s.Pages = binary.LittleEndian.Uint32(buf[0:4])
 	s.Bytes = binary.LittleEndian.Uint64(buf[4:12])
 	s.Rows = binary.LittleEndian.Uint64(buf[12:20])
-	switch buf[20] {
-	case 0:
-	case 1:
-		s.Refreshed = true
-	default:
-		return ScanSummary{}, fmt.Errorf("%w: bad refreshed flag %d", ErrBadFrame, buf[20])
+	flags := buf[20]
+	if flags&^(summaryFlagRefreshed|summaryFlagDegraded) != 0 {
+		return ScanSummary{}, fmt.Errorf("%w: bad summary flags %#x", ErrBadFrame, flags)
 	}
+	s.Refreshed = flags&summaryFlagRefreshed != 0
+	s.Degraded = flags&summaryFlagDegraded != 0
 	s.AccelCycles = binary.LittleEndian.Uint64(buf[21:29])
 	s.AccelSeconds = math.Float64frombits(binary.LittleEndian.Uint64(buf[29:37]))
+	if len(buf) == scanSummaryV2Size {
+		s.SkippedTuples = binary.LittleEndian.Uint64(buf[37:45])
+		s.QuarantinedPages = binary.LittleEndian.Uint32(buf[45:49])
+		s.LanesRetired = binary.LittleEndian.Uint32(buf[49:53])
+	}
 	return s, nil
 }
 

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"testing"
+)
+
+// The extended scan summary must round-trip every robustness field and stay
+// decodable by (and from) peers that only know the 37-byte legacy layout.
+func TestScanSummaryV2RoundTrip(t *testing.T) {
+	in := ScanSummary{
+		Pages:            7,
+		Bytes:            7 * 8192,
+		Rows:             3500,
+		Refreshed:        true,
+		Degraded:         true,
+		AccelCycles:      123456,
+		AccelSeconds:     0.125,
+		SkippedTuples:    42,
+		QuarantinedPages: 3,
+		LanesRetired:     1,
+	}
+	raw := EncodeScanSummary(in)
+	if len(raw) != scanSummaryV2Size {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), scanSummaryV2Size)
+	}
+	out, err := DecodeScanSummary(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+// A legacy 37-byte summary (the prefix of the v2 layout) must still decode,
+// with every robustness field zero and the Refreshed flag intact.
+func TestScanSummaryV1Compat(t *testing.T) {
+	in := ScanSummary{Pages: 2, Bytes: 16384, Rows: 900, Refreshed: true, AccelCycles: 10, AccelSeconds: 1e-6}
+	legacy := EncodeScanSummary(in)[:scanSummaryV1Size]
+	out, err := DecodeScanSummary(legacy)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("v1 decode: got %+v want %+v", out, in)
+	}
+	if out.Degraded || out.SkippedTuples != 0 || out.QuarantinedPages != 0 || out.LanesRetired != 0 {
+		t.Fatalf("v1 payload produced nonzero robustness fields: %+v", out)
+	}
+}
+
+// Unknown summary flag bits must be rejected, not silently dropped: a
+// future peer that needs a new bit understood will get an error, not a
+// summary that quietly means something else.
+func TestScanSummaryRejectsUnknownFlags(t *testing.T) {
+	raw := EncodeScanSummary(ScanSummary{Refreshed: true})
+	raw[20] |= 0x80
+	if _, err := DecodeScanSummary(raw); err == nil {
+		t.Fatal("decoder accepted an unknown flag bit")
+	}
+}
+
+// A zero-offset scan request must keep the legacy encoding (no trailer), so
+// old peers can parse it; a nonzero offset rides in a 4-byte trailer and
+// round-trips.
+func TestScanRequestOffsetRoundTrip(t *testing.T) {
+	plain := EncodeScanRequest(ScanRequest{Table: "t", Column: "c"})
+	legacyLen := len(plain)
+	got, err := DecodeScanRequest(plain)
+	if err != nil || got.Offset != 0 {
+		t.Fatalf("legacy request: %+v, %v", got, err)
+	}
+
+	resumed := EncodeScanRequest(ScanRequest{Table: "t", Column: "c", Offset: 99})
+	if len(resumed) != legacyLen+4 {
+		t.Fatalf("resumed request is %d bytes, want legacy %d + 4", len(resumed), legacyLen)
+	}
+	got, err = DecodeScanRequest(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Table != "t" || got.Column != "c" || got.Offset != 99 {
+		t.Fatalf("offset round trip: %+v", got)
+	}
+}

@@ -3,21 +3,22 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamhist/internal/core"
 	"streamhist/internal/dbms"
+	"streamhist/internal/faults"
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
 	"streamhist/internal/page"
-	"streamhist/internal/stream"
 	"streamhist/internal/table"
 )
 
@@ -53,6 +54,21 @@ type Config struct {
 	TopK, Buckets int
 	// Binner overrides the accelerator simulation parameters.
 	Binner core.BinnerConfig
+	// Faults optionally wires the chaos harness into the serving path:
+	// page corruption and truncation, connection resets, drain-pool
+	// saturation, and bin-memory upsets all draw from this injector's
+	// deterministic per-point streams. Nil (the default) disables every
+	// injection; the fault-handling machinery itself always runs.
+	Faults *faults.Injector
+	// ScanDeadline bounds one scan's statistics side path. A side path
+	// still running when the deadline fires is cancelled — the raw page
+	// stream is never touched — and the scan reports Degraded instead of
+	// installing a possibly stale histogram. Zero means no watchdog.
+	ScanDeadline time.Duration
+	// SideStallTimeout bounds how long the serving goroutine will wait on
+	// a side-path lane that stopped accepting frames before retiring it.
+	// Zero means 500ms.
+	SideStallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,8 +84,8 @@ func (c Config) withDefaults() Config {
 	if c.PagesPerFrame <= 0 {
 		c.PagesPerFrame = 16
 	}
-	if c.PagesPerFrame*page.Size > MaxPayload {
-		c.PagesPerFrame = MaxPayload / page.Size
+	if c.PagesPerFrame*(page.Size+PageChecksumSize) > MaxPayload {
+		c.PagesPerFrame = MaxPayload / (page.Size + PageChecksumSize)
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 2 * time.Minute
@@ -87,7 +103,17 @@ func (c Config) withDefaults() Config {
 		c.Buckets = 64
 	}
 	if c.Binner.Clock.Hz == 0 {
+		faultsOverride := c.Binner.Faults
 		c.Binner = core.DefaultBinnerConfig()
+		c.Binner.Faults = faultsOverride
+	}
+	if c.Faults != nil && c.Binner.Faults == nil {
+		// One injector drives every layer: the side-path binners get the
+		// memory-fault points from the same seeded stream family.
+		c.Binner.Faults = c.Faults
+	}
+	if c.SideStallTimeout <= 0 {
+		c.SideStallTimeout = 500 * time.Millisecond
 	}
 	return c
 }
@@ -101,18 +127,38 @@ type colMeta struct {
 	ok       bool // false for empty columns: no side path possible
 }
 
-// tableEntry is one registered relation plus its lazily encoded page images.
+// tableEntry is one registered relation plus its lazily encoded page images
+// and their storage-authoritative checksums.
 type tableEntry struct {
 	rel  *table.Relation
 	cols map[string]colMeta
 
 	once  sync.Once
 	pages []*page.Page
+	sums  []uint32
+}
+
+func (e *tableEntry) encode() {
+	e.once.Do(func() {
+		e.pages = page.Encode(e.rel)
+		// Checksums are taken here, at encode time, before the images can
+		// travel anywhere: every later consumer verifies against what
+		// storage actually held, not against a possibly corrupted relay.
+		e.sums = make([]uint32, len(e.pages))
+		for i, p := range e.pages {
+			e.sums[i] = p.Checksum()
+		}
+	})
 }
 
 func (e *tableEntry) pageImages() []*page.Page {
-	e.once.Do(func() { e.pages = page.Encode(e.rel) })
+	e.encode()
 	return e.pages
+}
+
+func (e *tableEntry) pageSums() []uint32 {
+	e.encode()
+	return e.sums
 }
 
 // connState tracks whether a connection is mid-request, so a graceful
@@ -141,6 +187,10 @@ type Server struct {
 	inShutdown bool
 
 	wg sync.WaitGroup
+
+	// scanSeq numbers served scans so each gets its own deterministic
+	// fault-injection fork.
+	scanSeq atomic.Int64
 
 	metrics metrics
 }
@@ -363,6 +413,41 @@ func (s *Server) closeAllConns() {
 	s.connMu.Unlock()
 }
 
+// deadlineWriter is the per-connection write path: every chunk it pushes to
+// the connection re-arms the write deadline first, so the deadline bounds
+// *lack of progress*, not total transfer time. A multi-frame scan to a slow
+// but live client keeps extending its own deadline with every chunk the
+// client absorbs; a dead client stops absorbing and trips the very next
+// chunk. Writes are split into modest chunks so that progress is measured
+// at sub-frame granularity even on unbuffered transports like net.Pipe.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// deadlineChunk is the largest single write between deadline refreshes.
+const deadlineChunk = 16 << 10
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	var total int
+	for len(p) > 0 {
+		n := len(p)
+		if n > deadlineChunk {
+			n = deadlineChunk
+		}
+		if w.timeout > 0 {
+			w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+		}
+		wrote, err := w.conn.Write(p[:n])
+		total += wrote
+		if err != nil {
+			return total, err
+		}
+		p = p[wrote:]
+	}
+	return total, nil
+}
+
 // handleConn runs one connection's request loop.
 func (s *Server) handleConn(conn net.Conn, st *connState) {
 	defer func() {
@@ -371,7 +456,7 @@ func (s *Server) handleConn(conn net.Conn, st *connState) {
 		s.wg.Done()
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(&deadlineWriter{conn: conn, timeout: s.cfg.WriteTimeout}, 64<<10)
 	for {
 		if s.shuttingDown() {
 			return
@@ -404,110 +489,163 @@ func (s *Server) dispatch(conn net.Conn, bw *bufio.Writer, f Frame) error {
 	case FrameScan:
 		req, err := DecodeScanRequest(f.Payload)
 		if err != nil {
-			return s.writeError(conn, bw, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return s.writeError(bw, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		}
 		return s.handleScan(conn, bw, req)
 	case FrameStats:
 		req, err := DecodeScanRequest(f.Payload)
 		if err != nil {
-			return s.writeError(conn, bw, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return s.writeError(bw, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		}
-		return s.handleStats(conn, bw, req)
+		return s.handleStats(bw, req)
 	case FrameList:
-		return s.handleList(conn, bw)
+		return s.handleList(bw)
 	default:
-		return s.writeError(conn, bw, fmt.Errorf("%w: unexpected frame type %d", ErrBadRequest, f.Type))
+		return s.writeError(bw, fmt.Errorf("%w: unexpected frame type %d", ErrBadRequest, f.Type))
 	}
 }
 
-func (s *Server) writeError(conn net.Conn, bw *bufio.Writer, err error) error {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+func (s *Server) writeError(bw *bufio.Writer, err error) error {
 	if werr := WriteFrame(bw, FrameError, EncodeError(err)); werr != nil {
 		return werr
 	}
 	return bw.Flush()
 }
 
-func (s *Server) writeFrame(conn net.Conn, bw *bufio.Writer, typ uint8, payload []byte) error {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	return WriteFrame(bw, typ, payload)
-}
-
 // handleScan streams the relation's raw page images to the client and, on
 // the side, bins the requested column and refreshes the catalog histogram.
 // The serving path never waits for histogram construction: statistics are a
-// by-product of the bytes that were moving anyway.
+// by-product of the bytes that were moving anyway. Frames carry a per-page
+// CRC32C trailer (FramePagesCk) computed at encode time, so corruption
+// anywhere downstream of storage is detectable by every consumer. A nonzero
+// request offset resumes an interrupted scan at that page: the remaining
+// pages stream normally, but the side path is skipped — a partial scan
+// cannot yield an honest histogram — and the summary reports Degraded.
 func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) error {
 	entry, err := s.lookup(req.Table)
 	if err != nil {
-		return s.writeError(conn, bw, err)
+		return s.writeError(bw, err)
 	}
 	var meta colMeta
 	if req.Column != "" {
 		var ok bool
 		meta, ok = entry.cols[req.Column]
 		if !ok {
-			return s.writeError(conn, bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
+			return s.writeError(bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
+		}
+	}
+	pages := entry.pageImages()
+	sums := entry.pageSums()
+	if req.Offset > uint32(len(pages)) {
+		return s.writeError(bw, fmt.Errorf("%w: resume offset %d beyond %d pages", ErrBadRequest, req.Offset, len(pages)))
+	}
+
+	inj := s.cfg.Faults.Fork(fmt.Sprintf("scan%d", s.scanSeq.Add(1)))
+
+	resumed := req.Offset > 0
+	if resumed {
+		s.metrics.retriesServed.Add(1)
+	}
+	var sp *sidePath
+	if !resumed {
+		sp = s.startSidePath(entry, req, meta, inj)
+		if sp != nil {
+			defer sp.abandon()
 		}
 	}
 
-	sp := s.startSidePath(entry, req, meta)
-	if sp != nil {
-		defer sp.stop()
-	}
+	// sideWanted: a statistics refresh was requested and possible, so a
+	// scan that ends without one must say so (Degraded), whatever the
+	// reason — saturation, resumption, faults, or the watchdog.
+	sideWanted := req.Column != "" && meta.ok
 
-	src := stream.NewPagesReaderFromPages(entry.pageImages())
-	frame := make([]byte, s.cfg.PagesPerFrame*page.Size)
+	frame := make([]byte, 0, s.cfg.PagesPerFrame*(page.Size+PageChecksumSize))
 	var sum ScanSummary
-	for {
-		n, rerr := io.ReadFull(src, frame)
-		if n > 0 {
-			if werr := s.writeFrame(conn, bw, FramePages, frame[:n]); werr != nil {
-				return werr
-			}
-			sum.Pages += uint32(n / page.Size)
-			sum.Bytes += uint64(n)
-			if sp != nil {
-				sp.feed(frame[:n])
+	for off := int(req.Offset); off < len(pages); off += s.cfg.PagesPerFrame {
+		end := off + s.cfg.PagesPerFrame
+		if end > len(pages) {
+			end = len(pages)
+		}
+		frame = frame[:0]
+		for _, pg := range pages[off:end] {
+			frame = append(frame, pg.Bytes()...)
+		}
+		for _, ck := range sums[off:end] {
+			frame = binary.LittleEndian.AppendUint32(frame, ck)
+		}
+		// Injected in-flight corruption: the damage lands after the
+		// checksum trailer was appended, exactly like a relay flipping
+		// bits after storage vouched for the bytes. The wire carries the
+		// corrupt image (the raw path fails open and never rewrites
+		// data); the trailer is what lets the consumers catch it.
+		for i := off; i < end; i++ {
+			if inj.Should(faults.PageCorrupt) {
+				pos := (i-off)*page.Size + int(inj.Intn(faults.PageCorrupt, page.Size))
+				frame[pos] ^= byte(1 + inj.Intn(faults.PageCorrupt, 255))
 			}
 		}
-		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
-			break
+		if inj.Should(faults.ConnReset) {
+			// Injected transport failure: the connection dies mid-scan,
+			// taking the side path down with it (deferred abandon).
+			conn.Close()
+			return fmt.Errorf("server: injected connection reset")
 		}
-		if rerr != nil {
-			return rerr
+		if werr := WriteFrame(bw, FramePagesCk, frame); werr != nil {
+			return werr
+		}
+		n := (end - off) * page.Size
+		sum.Pages += uint32(end - off)
+		sum.Bytes += uint64(n)
+		if sp != nil {
+			sp.feed(frame[:n], off, inj)
 		}
 	}
 
 	if sp != nil {
-		sum.Rows, sum.Refreshed, sum.AccelCycles, sum.AccelSeconds = sp.finish()
+		side := sp.finish()
+		sum.Rows = side.rows
+		sum.Refreshed = side.refreshed
+		sum.Degraded = side.degraded
+		sum.AccelCycles = side.cycles
+		sum.AccelSeconds = side.seconds
+		sum.SkippedTuples = side.skippedTuples
+		sum.QuarantinedPages = side.quarantinedPages
+		sum.LanesRetired = side.lanesRetired
+	}
+	if sideWanted && !sum.Refreshed {
+		// No refresh where one was wanted: the scan's side effect is
+		// missing, and the summary must not read like a clean no-op.
+		sum.Degraded = true
+	}
+	if sum.Degraded {
+		s.metrics.scansDegraded.Add(1)
 	}
 	s.metrics.scansServed.Add(1)
 	s.metrics.pagesMoved.Add(int64(sum.Pages))
 	s.metrics.bytesMoved.Add(int64(sum.Bytes))
 
-	if err := s.writeFrame(conn, bw, FrameScanEnd, EncodeScanSummary(sum)); err != nil {
+	if err := WriteFrame(bw, FrameScanEnd, EncodeScanSummary(sum)); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
 // handleStats answers with the freshest catalog entry for the column.
-func (s *Server) handleStats(conn net.Conn, bw *bufio.Writer, req ScanRequest) error {
+func (s *Server) handleStats(bw *bufio.Writer, req ScanRequest) error {
 	entry, err := s.lookup(req.Table)
 	if err != nil {
-		return s.writeError(conn, bw, err)
+		return s.writeError(bw, err)
 	}
 	if _, ok := entry.cols[req.Column]; !ok {
-		return s.writeError(conn, bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
+		return s.writeError(bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
 	}
 	st := s.catalog.Get(req.Table, req.Column)
 	if st == nil || st.Histogram == nil {
-		return s.writeError(conn, bw, fmt.Errorf("%w: %q.%q (serve a scan first)", ErrNoStats, req.Table, req.Column))
+		return s.writeError(bw, fmt.Errorf("%w: %q.%q (serve a scan first)", ErrNoStats, req.Table, req.Column))
 	}
 	raw, err := st.Histogram.MarshalBinary()
 	if err != nil {
-		return s.writeError(conn, bw, fmt.Errorf("server: encoding histogram: %v", err))
+		return s.writeError(bw, fmt.Errorf("server: encoding histogram: %v", err))
 	}
 	s.metrics.statsServed.Add(1)
 	payload := EncodeStatsResult(StatsResult{
@@ -516,7 +654,7 @@ func (s *Server) handleStats(conn net.Conn, bw *bufio.Writer, req ScanRequest) e
 		Version:   st.Version,
 		Histogram: raw,
 	})
-	if err := s.writeFrame(conn, bw, FrameStatsResult, payload); err != nil {
+	if err := WriteFrame(bw, FrameStatsResult, payload); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -524,7 +662,7 @@ func (s *Server) handleStats(conn net.Conn, bw *bufio.Writer, req ScanRequest) e
 
 // handleList answers with the registered tables, their schemas, and which
 // columns currently have served-scan statistics.
-func (s *Server) handleList(conn net.Conn, bw *bufio.Writer) error {
+func (s *Server) handleList(bw *bufio.Writer) error {
 	s.mu.RLock()
 	names := make([]string, 0, len(s.tables))
 	for name := range s.tables {
@@ -544,24 +682,43 @@ func (s *Server) handleList(conn net.Conn, bw *bufio.Writer) error {
 	for i := range infos {
 		infos[i].StatsColumns = s.catalog.StatsColumns(infos[i].Name)
 	}
-	if err := s.writeFrame(conn, bw, FrameTables, EncodeTableList(infos)); err != nil {
+	if err := WriteFrame(bw, FrameTables, EncodeTableList(infos)); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
+// sideFrame is one unit of side-path work: a copied span of page bytes plus
+// where in the relation it came from, so the lane can verify each page
+// against the storage-authoritative checksum.
+type sideFrame struct {
+	bufp *[]byte
+	// pageOff is the relation-wide index of the first page in the buffer.
+	pageOff int
+	// intended is how many pages the frame was supposed to carry; when the
+	// buffer holds fewer whole pages (an injected truncation), the missing
+	// tail is quarantined.
+	intended int
+}
+
 // sideLane is one shard of a scan's side path: a private Parser+Binner pair
 // consuming page frames from its own channel. Frames always hold whole
-// pages (handleScan reads in page multiples) and the Parser FSM resets at
-// page boundaries, so lanes never share parser state.
+// pages and the Parser FSM resets at page boundaries, so lanes never share
+// parser state.
 type sideLane struct {
 	parser *core.Parser
 	binner *core.Binner
-	ch     chan *[]byte
+	ch     chan sideFrame
+	inj    *faults.Injector
 
-	// parseErr is written only by the lane goroutine, read after done.
-	parseErr error
-	done     chan struct{}
+	// Written only by the lane goroutine, read after done.
+	parseErr    error
+	faulted     bool // injected panic/stall: the lane's partial work is void
+	quarantined int64
+	done        chan struct{}
+
+	// dead is the serving goroutine's view: stop feeding this lane.
+	dead bool
 }
 
 // sidePath is one scan's splitter copy: frames are duplicated and dealt
@@ -569,17 +726,38 @@ type sideLane struct {
 // pipeline while the serving goroutine keeps streaming. At finish the lane
 // states fan back in — bin vectors merge via core.Binner.Merge and the
 // completion cycle is the max-lane critical path plus one aggregation pass
-// (hw.CriticalPath) — before the unchanged histogram chain runs. Closing
-// the lane channels and waiting on done is the barrier after which the
-// merged binned view is complete.
+// (hw.CriticalPath) — before the unchanged histogram chain runs.
+//
+// The side path is strictly subordinate to the raw stream: a lane that
+// panics or stalls is retired (its partial state discarded), a page that
+// fails its checksum is quarantined, a watchdog cancels work that overruns
+// the scan deadline — and in every one of those cases the page stream is
+// already complete or still completing at full speed. What degrades is only
+// the statistic, and the degradation is always reported, never silent.
 type sidePath struct {
 	s     *Server
 	entry *tableEntry
 	req   ScanRequest
+	sums  []uint32
 
 	lanes []*sideLane
 	next  int // round-robin cursor, serving goroutine only
 	clock hw.Clock
+
+	// release unblocks injected lane stalls at teardown so no goroutine
+	// outlives the scan.
+	release chan struct{}
+	// cancelled is set by the watchdog; lanes drain without binning and
+	// finish() refuses to install.
+	cancelled atomic.Bool
+	watchdog  *time.Timer
+
+	// framesLost notes frames no live lane would take (all retired or all
+	// stalled past the timeout): the merged view is missing that data.
+	framesLost bool
+	retired    int
+	// quarantinedPages is settled in stop(), after the lanes are joined.
+	quarantinedPages int64
 
 	stopped bool
 }
@@ -587,12 +765,17 @@ type sidePath struct {
 // startSidePath acquires a drain worker and wires the side path, or returns
 // nil when statistics must be skipped: no column requested, an empty
 // column, or a fully busy worker pool (the stream always wins; the scan
-// fails open and the catalog simply isn't refreshed this time).
-func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta) *sidePath {
+// fails open and the catalog simply isn't refreshed this time). Injected
+// drain-pool saturation exercises the same skip path as the real thing.
+func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta, inj *faults.Injector) *sidePath {
 	if req.Column == "" {
 		return nil
 	}
 	if !meta.ok {
+		return nil
+	}
+	if inj.Should(faults.DrainSaturate) {
+		s.metrics.sideSkipped.Add(1)
 		return nil
 	}
 	select {
@@ -602,11 +785,13 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta)
 		return nil
 	}
 	sp := &sidePath{
-		s:     s,
-		entry: entry,
-		req:   req,
-		clock: s.cfg.Binner.Clock,
-		lanes: make([]*sideLane, s.cfg.ShardLanes),
+		s:       s,
+		entry:   entry,
+		req:     req,
+		sums:    entry.pageSums(),
+		clock:   s.cfg.Binner.Clock,
+		lanes:   make([]*sideLane, s.cfg.ShardLanes),
+		release: make(chan struct{}),
 	}
 	for i := range sp.lanes {
 		pre, err := core.RangeFor(meta.min, meta.max, 1)
@@ -618,98 +803,261 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta)
 		sp.lanes[i] = &sideLane{
 			parser: core.NewParser(meta.spec),
 			binner: core.NewBinner(s.cfg.Binner, pre),
-			ch:     make(chan *[]byte, s.cfg.SideBufDepth),
+			ch:     make(chan sideFrame, s.cfg.SideBufDepth),
 			done:   make(chan struct{}),
+			inj:    inj.Fork(fmt.Sprintf("side-lane%d", i)),
 		}
 		go sp.run(sp.lanes[i])
+	}
+	if s.cfg.ScanDeadline > 0 {
+		sp.watchdog = time.AfterFunc(s.cfg.ScanDeadline, func() {
+			sp.cancelled.Store(true)
+		})
 	}
 	return sp
 }
 
-// feed hands the next lane a copy of one relayed frame, round-robin. A full
-// lane channel blocks — per-scan backpressure with a fixed memory bound
-// (ShardLanes × SideBufDepth frames).
-func (sp *sidePath) feed(b []byte) {
+// feed hands the next live lane a copy of one relayed frame, round-robin. A
+// full lane channel applies backpressure up to SideStallTimeout — bounded
+// memory — after which the lane is presumed stuck and retired; a lane whose
+// goroutine died is retired on sight. When no live lane remains the frame
+// is dropped and the eventual histogram honestly reports the loss.
+func (sp *sidePath) feed(b []byte, pageOff int, inj *faults.Injector) {
+	if sp.cancelled.Load() {
+		return // watchdog fired: the side path is already forfeit
+	}
+	intended := len(b) / page.Size
+	if inj.Should(faults.PageTruncate) {
+		// Injected short copy: the splitter's DMA slipped and the side
+		// buffer holds only a prefix of the frame. The wire already
+		// carried the full bytes; only the statistic's copy is short.
+		b = b[:inj.Intn(faults.PageTruncate, int64(len(b)))]
+	}
 	bufp := sp.s.bufPool.Get().(*[]byte)
 	*bufp = append((*bufp)[:0], b...)
-	sp.lanes[sp.next].ch <- bufp
-	sp.next++
-	if sp.next == len(sp.lanes) {
-		sp.next = 0
+	f := sideFrame{bufp: bufp, pageOff: pageOff, intended: intended}
+
+	for tries := 0; tries < len(sp.lanes); tries++ {
+		l := sp.lanes[sp.next]
+		sp.next = (sp.next + 1) % len(sp.lanes)
+		if l.dead {
+			continue
+		}
+		select {
+		case l.ch <- f:
+			return
+		case <-l.done:
+			sp.retireLane(l)
+			continue
+		default:
+		}
+		timer := time.NewTimer(sp.s.cfg.SideStallTimeout)
+		select {
+		case l.ch <- f:
+			timer.Stop()
+			return
+		case <-l.done:
+			timer.Stop()
+			sp.retireLane(l)
+		case <-timer.C:
+			sp.retireLane(l)
+		}
+	}
+	// No lane took it: the side path loses this frame's rows, and says so.
+	sp.framesLost = true
+	sp.s.bufPool.Put(bufp)
+}
+
+func (sp *sidePath) retireLane(l *sideLane) {
+	if !l.dead {
+		l.dead = true
+		sp.retired++
 	}
 }
 
-// run is one lane's drain worker: the Parser FSM walks the copied page
-// bytes and the Binner bin-sorts every extracted value, exactly as in
-// stream.Tap but decoupled from the wire by the lane channel.
+// run is one lane's drain worker: each whole page in the frame is verified
+// against its storage checksum — corrupt or missing pages are quarantined,
+// counted, and skipped — and the surviving pages flow through the Parser
+// FSM into the Binner, exactly as in stream.Tap but decoupled from the wire
+// by the lane channel.
 func (sp *sidePath) run(l *sideLane) {
-	defer close(l.done)
+	defer func() {
+		if r := recover(); r != nil {
+			l.faulted = true
+		}
+		close(l.done)
+	}()
 	var vals []int64
-	for bufp := range l.ch {
-		if l.parseErr == nil {
+	for f := range l.ch {
+		if l.faulted || l.parseErr != nil || sp.cancelled.Load() {
+			sp.s.bufPool.Put(f.bufp)
+			continue // drain only: fail open, never block the feeder
+		}
+		if l.inj.Should(faults.LanePanic) {
+			sp.s.bufPool.Put(f.bufp)
+			panic("injected side-lane fault")
+		}
+		if l.inj.Should(faults.LaneStall) {
+			l.faulted = true
+			sp.s.bufPool.Put(f.bufp)
+			<-sp.release // hold until teardown, then drain
+			continue
+		}
+		buf := *f.bufp
+		whole := len(buf) / page.Size
+		for k := 0; k < f.intended; k++ {
+			if k >= whole {
+				// Truncated away: the page never reached the side buffer.
+				l.quarantined++
+				continue
+			}
+			img := buf[k*page.Size : (k+1)*page.Size]
+			if page.Checksum(img) != sp.sums[f.pageOff+k] {
+				l.quarantined++
+				continue
+			}
 			var err error
-			vals, err = l.parser.Feed(*bufp, vals[:0])
+			vals, err = l.parser.Feed(img, vals[:0])
 			if err != nil {
 				l.parseErr = err
-			} else {
-				l.binner.PushAll(vals)
+				break
 			}
+			l.binner.PushAll(vals)
 		}
-		sp.s.bufPool.Put(bufp)
+		sp.s.bufPool.Put(f.bufp)
 	}
 }
 
-// stop closes the lane channels, waits for every drain worker, and releases
-// the pool slot. Idempotent; called from the serving goroutine only.
+// stop tears the side path down: it unblocks injected stalls, closes the
+// lane channels, waits for the drain workers against a shared deadline —
+// retiring any lane that will not finish in time — and releases the pool
+// slot. Idempotent; called from the serving goroutine only.
 func (sp *sidePath) stop() {
 	if sp.stopped {
 		return
 	}
 	sp.stopped = true
+	if sp.watchdog != nil {
+		sp.watchdog.Stop()
+	}
+	close(sp.release)
 	for _, l := range sp.lanes {
 		close(l.ch)
 	}
+	deadline := time.NewTimer(sp.s.cfg.SideStallTimeout)
+	defer deadline.Stop()
 	for _, l := range sp.lanes {
-		<-l.done
+		select {
+		case <-l.done:
+		case <-deadline.C:
+			// The lane is wedged past the drain deadline. Its goroutine
+			// can only be blocked on the (now closed) release channel or
+			// mid-drain, so it will exit on its own; the scan does not
+			// wait, and the lane's partial state is discarded.
+			sp.retireLane(l)
+		}
 	}
+	// Settle the casualty list now that the joined lanes' flags are
+	// visible, and account for it — even a scan abandoned mid-stream
+	// (connection death) reports what it quarantined and retired.
+	for _, l := range sp.lanes {
+		if l.faulted {
+			sp.retireLane(l)
+		}
+		sp.quarantinedPages += l.quarantined
+	}
+	sp.s.metrics.pagesQuarantined.Add(sp.quarantinedPages)
+	sp.s.metrics.lanesRetired.Add(int64(sp.retired))
 	<-sp.s.drainSem
 }
 
-// finish completes the side path: it fans the lane states back in (merged
-// bin counts, max-lane critical path plus one aggregation pass), runs the
-// histogram chain over the merged view, installs the Compressed histogram
-// in the catalog, and reports the scan's statistics yield plus the
-// simulated hardware cost.
-func (sp *sidePath) finish() (rows uint64, refreshed bool, cycles uint64, seconds float64) {
+// sideResult is everything finish() learned about the scan's side effect.
+type sideResult struct {
+	rows             uint64
+	refreshed        bool
+	degraded         bool
+	cycles           uint64
+	seconds          float64
+	skippedTuples    uint64
+	quarantinedPages uint32
+	lanesRetired     uint32
+}
+
+// finish completes the side path: it fans the surviving lane states back in
+// (merged bin counts, max-lane critical path plus one aggregation pass),
+// runs the histogram chain over the merged view, installs the Compressed
+// histogram in the catalog, and reports the scan's statistics yield plus
+// the simulated hardware cost. Faults reaching this point shape the result
+// in exactly one of two ways: either every loss was masked and the
+// histogram is exact, or the install is marked Degraded with the loss
+// quantified — there is no silent third outcome.
+func (sp *sidePath) finish() sideResult {
 	sp.stop()
+	var res sideResult
+
+	healthy := sp.lanes[:0:0]
 	for _, l := range sp.lanes {
-		if l.parseErr != nil {
-			// Fail open: the client got its bytes; only the refresh is lost.
-			sp.s.metrics.parseErrors.Add(1)
-			return 0, false, 0, 0
+		if l.dead {
+			continue
 		}
+		if l.parseErr != nil {
+			// A real data error (not injected): fail open like before.
+			sp.s.metrics.parseErrors.Add(1)
+			res.degraded = true
+			return res
+		}
+		healthy = append(healthy, l)
 	}
-	laneCycles := make([]int64, len(sp.lanes))
-	for i, l := range sp.lanes {
+	res.quarantinedPages = uint32(sp.quarantinedPages)
+	res.lanesRetired = uint32(sp.retired)
+
+	if sp.cancelled.Load() {
+		// Watchdog: whatever the lanes hold is incomplete in an unknown
+		// way. Report the overrun; install nothing.
+		res.degraded = true
+		return res
+	}
+	if len(healthy) == 0 {
+		res.degraded = true
+		return res
+	}
+
+	laneCycles := make([]int64, len(healthy))
+	for i, l := range healthy {
 		_, ls := l.binner.Finish()
 		laneCycles[i] = ls.Cycles
 	}
-	merged := sp.lanes[0].binner
-	for _, l := range sp.lanes[1:] {
+	merged := healthy[0].binner
+	for _, l := range healthy[1:] {
 		if err := merged.Merge(l.binner); err != nil {
 			// Lanes share one geometry, so this cannot happen; treat it
 			// like a parse failure and fail open.
 			sp.s.metrics.parseErrors.Add(1)
-			return 0, false, 0, 0
+			res.degraded = true
+			return res
 		}
 	}
-	sp.s.metrics.laneMerges.Add(int64(len(sp.lanes) - 1))
+	sp.s.metrics.laneMerges.Add(int64(len(healthy) - 1))
 	vec, bstats := merged.Finish()
 	if bstats.Items == 0 {
-		return 0, false, 0, 0
+		res.degraded = true
+		return res
 	}
+
+	// The one honesty invariant everything above funnels into: any gap
+	// between what the relation holds and what the merged view counted —
+	// retired lanes, quarantined pages, dropped frames, bin-memory losses
+	// — makes the histogram Degraded, with the gap as its skipped count.
+	relRows := int64(sp.entry.rel.NumRows())
+	skipped := relRows - vec.Total()
+	if skipped < 0 {
+		skipped = 0
+	}
+	degraded := skipped > 0 || sp.retired > 0 || sp.quarantinedPages > 0 ||
+		bstats.BinsQuarantined > 0 || sp.framesLost
+
 	var agg int64
-	if len(sp.lanes) > 1 {
+	if len(healthy) > 1 {
 		agg = hw.AggregationCycles(vec.NumBins(), sp.s.cfg.Binner.Mem.BinsPerLine)
 	}
 	bstats.Cycles = hw.CriticalPath(laneCycles, agg)
@@ -721,15 +1069,31 @@ func (sp *sidePath) finish() (rows uint64, refreshed bool, cycles uint64, second
 		Frequent:      comp.Frequent(),
 		Total:         vec.Total(),
 		DistinctTotal: int64(vec.Cardinality()),
+		Degraded:      degraded,
+		Skipped:       skipped,
 	}
 	sp.s.catalog.Put(sp.req.Table, sp.req.Column, &dbms.ColumnStats{
 		Histogram: h,
 		NDistinct: int64(vec.Cardinality()),
-		RowCount:  int64(sp.entry.rel.NumRows()),
+		RowCount:  relRows,
 	})
 	total := uint64(bstats.Cycles + chain.TotalCycles)
 	sp.s.metrics.rowsBinned.Add(bstats.Items)
 	sp.s.metrics.histRefreshed.Add(1)
 	sp.s.metrics.accelCycles.Add(int64(total))
-	return uint64(bstats.Items), true, total, sp.clock.Seconds(int64(total))
+
+	res.rows = uint64(bstats.Items)
+	res.refreshed = true
+	res.degraded = degraded
+	res.cycles = total
+	res.seconds = sp.clock.Seconds(int64(total))
+	res.skippedTuples = uint64(skipped)
+	return res
+}
+
+// abandon releases the side path without finishing it: the scan failed
+// before its summary, so nothing is installed and the workers just drain.
+// Idempotent, and a no-op after finish.
+func (sp *sidePath) abandon() {
+	sp.stop()
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
+	"time"
 
+	"streamhist/internal/bins"
 	"streamhist/internal/core"
+	"streamhist/internal/faults"
 	"streamhist/internal/hw"
 	"streamhist/internal/page"
 	"streamhist/internal/table"
@@ -22,7 +24,12 @@ import (
 // the serial DataPath's view.
 //
 // The host-visible path is untouched: bytes are still relayed to the host in
-// storage order; only the statistical side path fans out.
+// storage order; only the statistical side path fans out. That asymmetry is
+// also the failure model: a lane that panics or stalls is retired by the
+// supervisor and every chunk it was ever assigned is replayed (its partial
+// binner is discarded wholesale, so replay can never double count), which
+// masks lane faults completely — the merged result stays exact — while the
+// host stream never waits on a sick lane.
 type ParallelDataPath struct {
 	Rel    *table.Relation
 	Column string
@@ -34,7 +41,24 @@ type ParallelDataPath struct {
 	// Larger chunks amortise dispatch overhead; any positive size is
 	// functionally equivalent.
 	ChunkPages int
+	// Faults optionally injects lane-level faults (faults.LanePanic,
+	// faults.LaneStall) into the side path. Each lane gets its own forked
+	// deterministic stream. Nil disables injection.
+	Faults *faults.Injector
+	// StallTimeout bounds how long the splitter will wait on a lane that
+	// stops accepting chunks, and how long the fan-in waits for lanes to
+	// drain, before retiring them. Zero means DefaultStallTimeout.
+	StallTimeout time.Duration
+	// SelfCheck recomputes the binned view serially after the merge and
+	// fails the scan if the parallel result drifted. Intended for chaos
+	// tests; it doubles the side-path work. Skipped when bin memory
+	// quarantined words (the drift is then expected and accounted).
+	SelfCheck bool
 }
+
+// DefaultStallTimeout is how long a lane may block the splitter or the
+// fan-in before being declared stalled and retired.
+const DefaultStallTimeout = 500 * time.Millisecond
 
 // NewParallelDataPath builds a sharded path with the default accelerator
 // configuration for the column's observed value range. shards <= 0 picks
@@ -58,7 +82,8 @@ type ParallelScanResult struct {
 	ScanResult
 	// Shards is the number of lanes that ran.
 	Shards int
-	// PerShard is each lane's own cycle accounting, in lane order.
+	// PerShard is each lane's own cycle accounting, in lane order. Retired
+	// lanes report zero stats (their partial work was discarded).
 	PerShard []core.BinnerStats
 	// AggregationCycles is the line-parallel merge cost of the lanes' bin
 	// regions (hw.AggregationCycles); zero for a single lane, which needs
@@ -68,24 +93,47 @@ type ParallelScanResult struct {
 	// lane plus the aggregation pass. Results.BinnerStats.Cycles equals
 	// this, so the Table 2 downstream arithmetic is unchanged.
 	CriticalPathCycles int64
+	// LanesRetired counts lanes the supervisor removed (panic or stall).
+	LanesRetired int
+	// ReplayedChunks counts chunks reprocessed after a lane retirement.
+	ReplayedChunks int
 }
 
 // lane is one shard of the side path: a private Parser and Binner consuming
-// page chunks from its own channel.
+// page chunks from its own channel, under supervision.
 type lane struct {
 	parser *core.Parser
 	binner *core.Binner
 	ch     chan []*page.Page
-	err    error // parse error; written before done closes
+	err    error // parse error or recovered panic; written before done closes
 	done   chan struct{}
+	inj    *faults.Injector
+	// release unblocks an injected stall; the supervisor closes it during
+	// cleanup so stalled goroutines never outlive the scan.
+	release chan struct{}
+	// assigned records every chunk ever sent to this lane, so a retirement
+	// can replay the lane's full share.
+	assigned [][]*page.Page
+	retired  bool
 }
 
 func (l *lane) run() {
-	defer close(l.done)
+	defer func() {
+		if r := recover(); r != nil {
+			l.err = fmt.Errorf("lane panic: %v", r)
+		}
+		close(l.done)
+	}()
 	var vals []int64
 	for chunk := range l.ch {
 		if l.err != nil {
 			continue // drain: a poisoned lane fails open, never blocks feeders
+		}
+		if l.inj.Should(faults.LanePanic) {
+			panic("injected lane fault")
+		}
+		if l.inj.Should(faults.LaneStall) {
+			<-l.release // hold until the supervisor tears the scan down
 		}
 		for _, pg := range chunk {
 			var err error
@@ -99,12 +147,19 @@ func (l *lane) run() {
 	}
 }
 
+// retire marks the lane dead and hands back its full chunk share for replay.
+func (l *lane) retire() [][]*page.Page {
+	l.retired = true
+	return l.assigned
+}
+
 // Scan streams the relation to the host in page order while fanning page
 // chunks out to the shard lanes round-robin, then fans the lane states back
 // in: bin vectors merge via core.Binner.Merge and the completion cycle
 // becomes the max-lane critical path plus the aggregation pass. The
 // histogram chain then runs over the merged view exactly as in the serial
-// path, so the produced histograms are hist.Equal to DataPath.Scan's.
+// path, so the produced histograms are hist.Equal to DataPath.Scan's — even
+// when lanes are retired, because a retired lane's whole share is replayed.
 func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelScanResult, error) {
 	shards := d.Shards
 	if shards <= 0 {
@@ -116,37 +171,85 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	if chunkPages <= 0 {
 		chunkPages = 16
 	}
+	stallTimeout := d.StallTimeout
+	if stallTimeout <= 0 {
+		stallTimeout = DefaultStallTimeout
+	}
 
 	pre := func() (*core.Preprocessor, error) {
 		return core.RangeFor(d.Config.Min, d.Config.Max, d.Config.Divisor)
 	}
 
 	lanes := make([]*lane, shards)
-	var wg sync.WaitGroup
 	for i := range lanes {
 		p, err := pre()
 		if err != nil {
 			return nil, err
 		}
 		lanes[i] = &lane{
-			parser: core.NewParser(d.Config.Column),
-			binner: core.NewBinner(d.Config.Binner, p),
-			ch:     make(chan []*page.Page, 4),
-			done:   make(chan struct{}),
+			parser:  core.NewParser(d.Config.Column),
+			binner:  core.NewBinner(d.Config.Binner, p),
+			ch:      make(chan []*page.Page, 4),
+			done:    make(chan struct{}),
+			inj:     d.Faults.Fork(fmt.Sprintf("lane%d", i)),
+			release: make(chan struct{}),
 		}
-		wg.Add(1)
-		go func(l *lane) {
-			defer wg.Done()
-			l.run()
-		}(lanes[i])
+		go lanes[i].run()
+	}
+	defer func() {
+		// Unblock any injected stalls and let every lane goroutine exit.
+		for _, l := range lanes {
+			close(l.release)
+			if !l.retired {
+				<-l.done
+			}
+		}
+	}()
+
+	healthy := append([]*lane(nil), lanes...)
+	var pendingReplay [][]*page.Page // chunks owed to the side path
+	var retiredCount, replayed int
+
+	retire := func(idx int) {
+		l := healthy[idx]
+		healthy = append(healthy[:idx], healthy[idx+1:]...)
+		retiredCount++
+		pendingReplay = append(pendingReplay, l.retire()...)
+	}
+
+	// deliver hands one chunk to some healthy lane, retiring lanes that are
+	// dead (done closed early) or that refuse the chunk past the stall
+	// timeout. It reports false when no healthy lane is left.
+	next := 0
+	deliver := func(chunk []*page.Page) bool {
+		for len(healthy) > 0 {
+			idx := next % len(healthy)
+			l := healthy[idx]
+			timer := time.NewTimer(stallTimeout)
+			select {
+			case l.ch <- chunk:
+				timer.Stop()
+				l.assigned = append(l.assigned, chunk)
+				next++
+				return true
+			case <-l.done:
+				timer.Stop()
+				retire(idx)
+			case <-timer.C:
+				retire(idx)
+			}
+		}
+		return false
 	}
 
 	// Fan out: the host gets every byte in storage order; lanes get whole
-	// pages round-robin, chunked to amortise channel traffic.
+	// pages round-robin, chunked to amortise channel traffic. The host copy
+	// always runs first and never waits on the side path.
 	pages := page.Encode(d.Rel)
 	var hostBytes int64
 	var writeErr error
-	for off, next := 0, 0; off < len(pages); off += chunkPages {
+	var orphaned [][]*page.Page // chunks no lane could take
+	for off := 0; off < len(pages); off += chunkPages {
 		end := off + chunkPages
 		if end > len(pages) {
 			end = len(pages)
@@ -162,35 +265,120 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 				}
 			}
 		}
-		lanes[next].ch <- chunk
-		next = (next + 1) % shards
+		if !deliver(chunk) {
+			orphaned = append(orphaned, chunk)
+		}
 	}
 
-	// Fan in: close the lanes, wait, surface side-path errors, merge.
-	for _, l := range lanes {
+	// Redistribute shares of lanes retired during the fan-out. Lanes can
+	// keep failing during replay; the healthy set only shrinks, so this
+	// terminates, with still-homeless chunks falling through to the
+	// supervisor's inline path.
+	for len(pendingReplay) > 0 && len(healthy) > 0 {
+		chunk := pendingReplay[0]
+		pendingReplay = pendingReplay[1:]
+		replayed++
+		if !deliver(chunk) {
+			orphaned = append(orphaned, chunk)
+		}
+	}
+
+	// Fan in: close the surviving lanes and wait for them against a shared
+	// drain deadline — a lane that stalled after accepting its chunks is
+	// caught here and retired like any other.
+	for _, l := range healthy {
 		close(l.ch)
 	}
-	wg.Wait()
+	drainDeadline := time.NewTimer(stallTimeout)
+	defer drainDeadline.Stop()
+	for idx := 0; idx < len(healthy); {
+		l := healthy[idx]
+		select {
+		case <-l.done:
+			if l.err != nil && isInjectedFault(l.err) {
+				retire(idx)
+				continue
+			}
+			idx++
+		case <-drainDeadline.C:
+			retire(idx)
+		}
+	}
 	if writeErr != nil {
 		return nil, writeErr
 	}
 
+	// Anything still owed to the side path — chunks of lanes retired at
+	// drain time plus orphans — is binned inline by the supervisor. The
+	// inline path has no lane faults by construction, so the scan always
+	// terminates with an exact side-path view.
+	orphaned = append(orphaned, pendingReplay...)
+	var inline *lane
+	if len(orphaned) > 0 {
+		p, err := pre()
+		if err != nil {
+			return nil, err
+		}
+		inline = &lane{
+			parser: core.NewParser(d.Config.Column),
+			binner: core.NewBinner(d.Config.Binner, p),
+		}
+		var vals []int64
+		for _, chunk := range orphaned {
+			replayed++
+			for _, pg := range chunk {
+				vals, err = inline.parser.Feed(pg.Bytes(), vals[:0])
+				if err != nil {
+					return nil, fmt.Errorf("stream: side path (inline replay): %w", err)
+				}
+				inline.binner.PushAll(vals)
+			}
+		}
+	}
+
+	// Surface real (non-injected) parse errors from surviving lanes, then
+	// merge survivors plus the inline binner.
 	perShard := make([]core.BinnerStats, shards)
-	laneCycles := make([]int64, shards)
+	var laneCycles []int64
+	var toMerge []*core.Binner
 	for i, l := range lanes {
+		if l.retired {
+			continue
+		}
 		if l.err != nil {
 			return nil, fmt.Errorf("stream: side path (lane %d): %w", i, l.err)
 		}
 		_, perShard[i] = l.binner.Finish()
-		laneCycles[i] = perShard[i].Cycles
+		laneCycles = append(laneCycles, perShard[i].Cycles)
+		toMerge = append(toMerge, l.binner)
 	}
-	merged := lanes[0].binner
-	for _, l := range lanes[1:] {
-		if err := merged.Merge(l.binner); err != nil {
+	if inline != nil {
+		_, istats := inline.binner.Finish()
+		laneCycles = append(laneCycles, istats.Cycles)
+		toMerge = append(toMerge, inline.binner)
+	}
+	if len(toMerge) == 0 {
+		// Every lane retired and nothing needed replay: the relation was
+		// empty. An empty binner keeps the downstream arithmetic uniform.
+		p, err := pre()
+		if err != nil {
+			return nil, err
+		}
+		toMerge = append(toMerge, core.NewBinner(d.Config.Binner, p))
+	}
+	merged := toMerge[0]
+	for _, b := range toMerge[1:] {
+		if err := merged.Merge(b); err != nil {
 			return nil, fmt.Errorf("stream: lane merge: %w", err)
 		}
 	}
 	vec, mstats := merged.Finish()
+
+	if d.SelfCheck && mstats.BinsQuarantined == 0 {
+		if err := d.selfCheck(pages, vec); err != nil {
+			return nil, err
+		}
+	}
 
 	// A single lane needs no adder tree, so its accounting matches the
 	// serial DataPath exactly; with several lanes the fan-in pays one
@@ -239,5 +427,46 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		PerShard:           perShard,
 		AggregationCycles:  agg,
 		CriticalPathCycles: mstats.Cycles,
+		LanesRetired:       retiredCount,
+		ReplayedChunks:     replayed,
 	}, nil
+}
+
+// isInjectedFault reports whether a lane error came from the chaos harness
+// (and should be masked by replay) rather than from the data (and should
+// surface to the caller).
+func isInjectedFault(err error) bool {
+	return err != nil && err.Error() == "lane panic: injected lane fault"
+}
+
+// selfCheck re-bins the page stream serially — no lanes, no injected lane
+// faults — and confirms the merged parallel view matches bin for bin.
+func (d *ParallelDataPath) selfCheck(pages []*page.Page, vec *bins.Vector) error {
+	p, err := core.RangeFor(d.Config.Min, d.Config.Max, d.Config.Divisor)
+	if err != nil {
+		return err
+	}
+	cfg := d.Config.Binner
+	cfg.Faults = nil
+	parser := core.NewParser(d.Config.Column)
+	binner := core.NewBinner(cfg, p)
+	var vals []int64
+	for _, pg := range pages {
+		vals, err = parser.Feed(pg.Bytes(), vals[:0])
+		if err != nil {
+			return fmt.Errorf("stream: self-check parse: %w", err)
+		}
+		binner.PushAll(vals)
+	}
+	want, _ := binner.Finish()
+	if vec.NumBins() != want.NumBins() || vec.Total() != want.Total() {
+		return fmt.Errorf("stream: self-check failed: parallel view (%d bins, total %d) != serial (%d bins, total %d)",
+			vec.NumBins(), vec.Total(), want.NumBins(), want.Total())
+	}
+	for i := 0; i < want.NumBins(); i++ {
+		if vec.Count(i) != want.Count(i) {
+			return fmt.Errorf("stream: self-check failed: bin %d is %d, serial says %d", i, vec.Count(i), want.Count(i))
+		}
+	}
+	return nil
 }

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"streamhist/internal/faults"
+	"streamhist/internal/page"
+	"streamhist/internal/tpch"
+)
+
+// Lane panics are fully masked: the supervisor retires the lane, replays its
+// whole share, and the merged result stays exactly equal to the serial scan.
+func TestParallelDataPathLanePanicsMasked(t *testing.T) {
+	rel := tpch.Lineitem(20_000, 1, 21)
+	dp, err := NewDataPath(rel, "l_extendedprice", PCIeGen1x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := dp.Scan(io.Discard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := uint64(0); seed < 8; seed++ {
+		pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdp.Faults = faults.New(seed, faults.Profile{faults.LanePanic: 0.3})
+		pdp.SelfCheck = true
+		res, err := pdp.Scan(io.Discard, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got, want := res.Results.Bins.Total(), serial.Results.Bins.Total(); got != want {
+			t.Fatalf("seed %d: total %d != serial %d (replay must mask retirements)", seed, got, want)
+		}
+		if !res.Results.EquiDepth.Equal(serial.Results.EquiDepth) {
+			t.Fatalf("seed %d: equi-depth histogram drifted under lane panics", seed)
+		}
+		if res.LanesRetired > 0 && res.ReplayedChunks == 0 {
+			t.Fatalf("seed %d: %d lanes retired but nothing replayed", seed, res.LanesRetired)
+		}
+	}
+}
+
+// Stalled lanes are retired at the stall timeout and their share replayed;
+// the scan terminates with the exact result and no goroutine leaks.
+func TestParallelDataPathLaneStallsMasked(t *testing.T) {
+	rel := tpch.Lineitem(8_000, 1, 22)
+	dp, err := NewDataPath(rel, "l_extendedprice", PCIeGen1x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := dp.Scan(io.Discard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdp.Faults = faults.New(11, faults.Profile{faults.LaneStall: 0.5})
+	pdp.StallTimeout = 50 * time.Millisecond
+	pdp.SelfCheck = true
+
+	start := time.Now()
+	res, err := pdp.Scan(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("scan took %v — stall supervision is not bounding waits", elapsed)
+	}
+	if got, want := res.Results.Bins.Total(), serial.Results.Bins.Total(); got != want {
+		t.Fatalf("total %d != serial %d under stalls", got, want)
+	}
+	if res.LanesRetired == 0 {
+		t.Fatal("50% stall rate retired no lanes")
+	}
+}
+
+// Even with every lane failing, the inline fallback finishes the side path
+// and the host stream is byte-identical to storage order.
+func TestParallelDataPathAllLanesLostStillExact(t *testing.T) {
+	rel := tpch.Lineitem(5_000, 1, 23)
+	pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdp.Faults = faults.New(4, faults.Profile{faults.LanePanic: 1.0})
+	pdp.SelfCheck = true
+
+	var got bytes.Buffer
+	res, err := pdp.Scan(&got, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LanesRetired != 2 {
+		t.Fatalf("rate-1.0 panics retired %d of 2 lanes", res.LanesRetired)
+	}
+
+	var want bytes.Buffer
+	for _, pg := range page.Encode(rel) {
+		want.Write(pg.Bytes())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("host stream diverged from storage order under total lane loss")
+	}
+	if res.Results.Bins.Total() != int64(rel.NumRows()) {
+		t.Fatalf("side path total %d != %d rows", res.Results.Bins.Total(), rel.NumRows())
+	}
+}
+
+// The host stream must stay byte-identical under lane faults: retirements
+// are a side-path affair only.
+func TestParallelDataPathHostStreamUnchangedUnderFaults(t *testing.T) {
+	rel := tpch.Lineitem(6_000, 1, 24)
+	pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdp.Faults = faults.New(2, faults.Profile{faults.LanePanic: 0.2, faults.LaneStall: 0.1})
+	pdp.StallTimeout = 50 * time.Millisecond
+
+	var got bytes.Buffer
+	if _, err := pdp.Scan(&got, 2); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, pg := range page.Encode(rel) {
+		want.Write(pg.Bytes())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("host stream diverged under injected lane faults")
+	}
+}
