@@ -6,6 +6,7 @@ package client
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -109,6 +110,14 @@ func (c *Client) send(typ uint8, payload []byte) error {
 	return c.bw.Flush()
 }
 
+// serverReplyError marks an error the server reported in a FrameError reply
+// (unknown table or column, bad resume offset, internal failure). It unwraps
+// to the protocol sentinels, so errors.Is still matches across the wire.
+type serverReplyError struct{ err error }
+
+func (e *serverReplyError) Error() string { return e.err.Error() }
+func (e *serverReplyError) Unwrap() error { return e.err }
+
 // recv reads one response frame, translating FrameError payloads into
 // errors that wrap the protocol sentinels.
 func (c *Client) recv() (server.Frame, error) {
@@ -118,9 +127,23 @@ func (c *Client) recv() (server.Frame, error) {
 		return server.Frame{}, err
 	}
 	if f.Type == server.FrameError {
-		return server.Frame{}, server.DecodeError(f.Payload)
+		return server.Frame{}, &serverReplyError{server.DecodeError(f.Payload)}
 	}
 	return f, nil
+}
+
+// retryable reports whether a scan failure could plausibly resolve on a
+// fresh connection: transport failures and in-flight page corruption are
+// worth a resume. A server FrameError reply is not — redialling would only
+// re-send the same doomed request through the whole backoff budget — and
+// neither is a protocol violation (ErrBadFrame): a peer that framed one
+// response wrong will frame it wrong again.
+func retryable(err error) bool {
+	var reply *serverReplyError
+	if errors.As(err, &reply) {
+		return false
+	}
+	return !errors.Is(err, server.ErrBadFrame)
 }
 
 // ScanSummary reports one completed scan from the client's side.
@@ -140,7 +163,9 @@ var errBadPage = fmt.Errorf("client: page failed checksum in flight")
 // relation. When a redial function is installed (SetRedial), a mid-scan
 // failure — reset, timeout, or a corrupt page — restarts the scan from the
 // first undelivered page with exponential backoff; the returned summary then
-// covers the whole logical scan, with Retries recording the reconnects.
+// covers the whole logical scan, with Retries recording the reconnects. A
+// server rejection (unknown table or column, bad resume offset) is terminal
+// and surfaces immediately, without consuming the retry budget.
 func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error) {
 	var (
 		delivered uint64 // verified pages written to sink, all attempts
@@ -167,7 +192,7 @@ func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error
 		} else {
 			stalled++
 		}
-		if c.redial == nil || stalled >= c.maxAttempts {
+		if !retryable(err) || c.redial == nil || stalled >= c.maxAttempts {
 			return nil, err
 		}
 		retries++

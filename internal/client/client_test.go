@@ -119,6 +119,29 @@ func TestScanServerErrorFrame(t *testing.T) {
 	}
 }
 
+// Regression: with a redial installed, a server rejection (unknown table,
+// bad resume offset) used to be retried like a transport failure — the same
+// doomed request re-sent through the whole backoff budget. It must surface
+// immediately, without a single reconnect.
+func TestScanServerRejectionNotRetried(t *testing.T) {
+	c := fakeServer(t, func(conn net.Conn) {
+		readRequest(t, conn)
+		server.WriteFrame(conn, server.FrameError, server.EncodeError(server.ErrUnknownTable))
+	})
+	var redials int
+	c.SetRedial(func() (net.Conn, error) {
+		redials++
+		return nil, errors.New("no second server to dial")
+	})
+	_, err := c.Scan("ghost", "c", io.Discard)
+	if !errors.Is(err, server.ErrUnknownTable) {
+		t.Fatalf("got %v, want ErrUnknownTable", err)
+	}
+	if redials != 0 {
+		t.Fatalf("terminal server rejection triggered %d redials", redials)
+	}
+}
+
 func TestScanByteCountMismatchDetected(t *testing.T) {
 	c := fakeServer(t, func(conn net.Conn) {
 		readRequest(t, conn)

@@ -107,11 +107,6 @@ func (c Config) withDefaults() Config {
 		c.Binner = core.DefaultBinnerConfig()
 		c.Binner.Faults = faultsOverride
 	}
-	if c.Faults != nil && c.Binner.Faults == nil {
-		// One injector drives every layer: the side-path binners get the
-		// memory-fault points from the same seeded stream family.
-		c.Binner.Faults = c.Faults
-	}
 	if c.SideStallTimeout <= 0 {
 		c.SideStallTimeout = 500 * time.Millisecond
 	}
@@ -800,12 +795,22 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 			s.metrics.sideSkipped.Add(1)
 			return nil
 		}
+		// Each lane's injector drives both its lane faults and its binner's
+		// hw.mem.* points. Forking per lane (rather than letting every lane
+		// of every concurrent scan draw from one shared root injector) keeps
+		// memory-fault decisions reproducible from the seed alone, whatever
+		// the goroutine interleaving — the guarantee Fork exists to provide.
+		linj := inj.Fork(fmt.Sprintf("side-lane%d", i))
+		bcfg := s.cfg.Binner
+		if bcfg.Faults == nil {
+			bcfg.Faults = linj
+		}
 		sp.lanes[i] = &sideLane{
 			parser: core.NewParser(meta.spec),
-			binner: core.NewBinner(s.cfg.Binner, pre),
+			binner: core.NewBinner(bcfg, pre),
 			ch:     make(chan sideFrame, s.cfg.SideBufDepth),
 			done:   make(chan struct{}),
-			inj:    inj.Fork(fmt.Sprintf("side-lane%d", i)),
+			inj:    linj,
 		}
 		go sp.run(sp.lanes[i])
 	}

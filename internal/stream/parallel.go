@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -99,6 +100,11 @@ type ParallelScanResult struct {
 	ReplayedChunks int
 }
 
+// errInjectedLaneFault is the panic value of a chaos-injected lane fault, so
+// the supervisor can tell harness-made failures from real data errors with
+// errors.Is rather than by matching message text.
+var errInjectedLaneFault = errors.New("injected lane fault")
+
 // lane is one shard of the side path: a private Parser and Binner consuming
 // page chunks from its own channel, under supervision.
 type lane struct {
@@ -115,12 +121,19 @@ type lane struct {
 	// can replay the lane's full share.
 	assigned [][]*page.Page
 	retired  bool
+	// chClosed tracks whether the supervisor has closed ch yet; lanes
+	// retired mid-fan-out keep theirs open until cleanup.
+	chClosed bool
 }
 
 func (l *lane) run() {
 	defer func() {
 		if r := recover(); r != nil {
-			l.err = fmt.Errorf("lane panic: %v", r)
+			if err, ok := r.(error); ok {
+				l.err = fmt.Errorf("lane panic: %w", err)
+			} else {
+				l.err = fmt.Errorf("lane panic: %v", r)
+			}
 		}
 		close(l.done)
 	}()
@@ -130,7 +143,7 @@ func (l *lane) run() {
 			continue // drain: a poisoned lane fails open, never blocks feeders
 		}
 		if l.inj.Should(faults.LanePanic) {
-			panic("injected lane fault")
+			panic(errInjectedLaneFault)
 		}
 		if l.inj.Should(faults.LaneStall) {
 			<-l.release // hold until the supervisor tears the scan down
@@ -197,12 +210,21 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		go lanes[i].run()
 	}
 	defer func() {
-		// Unblock any injected stalls and let every lane goroutine exit.
+		// Unblock any injected stalls, close the channels of lanes retired
+		// mid-fan-out (their goroutines resume on release and must see EOF,
+		// or they would block in the range forever), and join every lane so
+		// no goroutine — healthy, stalled, or retired — outlives the scan.
+		// Retired lanes may drain leftover chunks on the way out; their
+		// binners are never merged, so the work is discarded, not counted.
 		for _, l := range lanes {
 			close(l.release)
-			if !l.retired {
-				<-l.done
+			if !l.chClosed {
+				close(l.ch)
+				l.chClosed = true
 			}
+		}
+		for _, l := range lanes {
+			<-l.done
 		}
 	}()
 
@@ -284,23 +306,28 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	}
 
 	// Fan in: close the surviving lanes and wait for them against a shared
-	// drain deadline — a lane that stalled after accepting its chunks is
-	// caught here and retired like any other.
+	// absolute drain deadline — a lane that stalled after accepting its
+	// chunks is caught here and retired like any other. The deadline is a
+	// wall-clock instant, re-armed as a fresh timer per wait, so two or more
+	// lanes stalled at drain time are each retired in turn (a one-shot timer
+	// would fire once and leave the next stalled lane blocking forever).
 	for _, l := range healthy {
 		close(l.ch)
+		l.chClosed = true
 	}
-	drainDeadline := time.NewTimer(stallTimeout)
-	defer drainDeadline.Stop()
+	drainDeadline := time.Now().Add(stallTimeout)
 	for idx := 0; idx < len(healthy); {
 		l := healthy[idx]
+		timer := time.NewTimer(time.Until(drainDeadline))
 		select {
 		case <-l.done:
+			timer.Stop()
 			if l.err != nil && isInjectedFault(l.err) {
 				retire(idx)
 				continue
 			}
 			idx++
-		case <-drainDeadline.C:
+		case <-timer.C:
 			retire(idx)
 		}
 	}
@@ -436,7 +463,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 // (and should be masked by replay) rather than from the data (and should
 // surface to the caller).
 func isInjectedFault(err error) bool {
-	return err != nil && err.Error() == "lane panic: injected lane fault"
+	return errors.Is(err, errInjectedLaneFault)
 }
 
 // selfCheck re-bins the page stream serially — no lanes, no injected lane

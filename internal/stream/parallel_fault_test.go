@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -113,6 +114,92 @@ func TestParallelDataPathAllLanesLostStillExact(t *testing.T) {
 	}
 	if res.Results.Bins.Total() != int64(rel.NumRows()) {
 		t.Fatalf("side path total %d != %d rows", res.Results.Bins.Total(), rel.NumRows())
+	}
+}
+
+// Regression: the fan-in used one one-shot drain timer, so with two or more
+// lanes stalled at drain time the first retirement consumed the only timer
+// fire and the next <-l.done wait blocked forever. Every lane here stalls on
+// its first (and only) chunk, so all of them are caught at drain time; the
+// scan must retire them all and finish exactly via the inline replay.
+func TestParallelDataPathDrainTimeMultiStallNoDeadlock(t *testing.T) {
+	rel := tpch.Lineitem(5_000, 1, 26)
+	dp, err := NewDataPath(rel, "l_extendedprice", PCIeGen1x8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := dp.Scan(io.Discard, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 4
+	pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdp.Faults = faults.New(3, faults.Profile{faults.LaneStall: 1.0})
+	pdp.StallTimeout = 50 * time.Millisecond
+	// One chunk per lane: nothing stalls during fan-out, so every lane is
+	// still "healthy" when the drain wait begins — the deadlock shape.
+	chunkPages := (len(page.Encode(rel)) + shards - 1) / shards
+
+	type out struct {
+		res *ParallelScanResult
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := pdp.Scan(io.Discard, chunkPages)
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.res.LanesRetired != shards {
+			t.Fatalf("retired %d of %d drain-time stalled lanes", o.res.LanesRetired, shards)
+		}
+		if got, want := o.res.Results.Bins.Total(), serial.Results.Bins.Total(); got != want {
+			t.Fatalf("total %d != serial %d after drain-time retirements", got, want)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Scan deadlocked draining multiple stalled lanes")
+	}
+}
+
+// Regression: lanes retired during fan-out never had their channel closed,
+// so once the scan's release broke their stall they blocked in the chunk
+// range forever — one leaked goroutine (plus its buffered chunks) per
+// retirement. Scan now joins every lane before returning, so repeated scans
+// must leave the goroutine count where it started.
+func TestParallelDataPathStallRetiredLanesExitAfterScan(t *testing.T) {
+	rel := tpch.Lineitem(6_000, 1, 25)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		pdp, err := NewParallelDataPath(rel, "l_extendedprice", PCIeGen1x8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pdp.Faults = faults.New(9, faults.Profile{faults.LaneStall: 1.0})
+		pdp.StallTimeout = 30 * time.Millisecond
+		res, err := pdp.Scan(io.Discard, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Results.Bins.Total() != int64(rel.NumRows()) {
+			t.Fatalf("scan %d: total %d != %d rows", i, res.Results.Bins.Total(), rel.NumRows())
+		}
+	}
+	// Lane goroutines close done just before returning, so give the last
+	// ones a moment to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("%d goroutines before scans, %d after — retired lanes are leaking", before, g)
 	}
 }
 
