@@ -5,7 +5,7 @@
 
 GO ?= go
 FUZZTIME ?= 30s
-BENCHJSON ?= BENCH_PR2.json
+BENCHJSON ?= BENCH_PR4.json
 
 .PHONY: check vet build test race fuzz bench bench-json lint
 

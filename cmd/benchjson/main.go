@@ -2,7 +2,7 @@
 // JSON document, so CI can archive one BENCH_<PR>.json artifact per change
 // and future PRs have a perf trajectory to diff against.
 //
-//	go test -bench=. -benchmem -run='^$' -count=1 . | benchjson -out BENCH_PR2.json
+//	go test -bench=. -benchmem -run='^$' -count=1 . | benchjson -out BENCH_PR4.json
 //	benchjson -in bench.txt            # stdin/file in, stdout/file out
 //
 // Every benchmark line becomes {name, iterations, metrics}, where metrics

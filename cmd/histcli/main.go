@@ -7,6 +7,13 @@
 //
 // The output lists each bucket's range, row count, and distinct count, plus
 // the simulated on-accelerator timing.
+//
+// The `metrics` subcommand instead scrapes a running histserved's
+// introspection endpoint and pretty-prints its /metrics exposition and the
+// most recent scan traces:
+//
+//	histcli metrics -addr localhost:7745 -scans 5
+//	histcli metrics -addr localhost:7745 -check    # fail on malformed lines
 package main
 
 import (
@@ -23,12 +30,19 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		if err := runMetrics(os.Args[2:]); err != nil {
+			fatalf("metrics: %v", err)
+		}
+		return
+	}
 	kind := flag.String("kind", "all", "histogram kind: equidepth, maxdiff, compressed, topk, all")
 	buckets := flag.Int("buckets", 16, "number of buckets (B)")
 	topk := flag.Int("topk", 8, "frequency-list length (T)")
 	divisor := flag.Int64("divisor", 1, "bin divisor (values per bin)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: histcli [flags] [file]")
+		fmt.Fprintln(os.Stderr, "       histcli metrics [-addr host:port] [-scans K] [-check]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

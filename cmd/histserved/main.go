@@ -17,13 +17,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"streamhist/internal/client"
 	"streamhist/internal/faults"
+	"streamhist/internal/obs"
 	"streamhist/internal/server"
 	"streamhist/internal/tpch"
 )
@@ -59,9 +62,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   histserved serve  [-addr :7744] [-rows N] [-seed S] [-chaos profile] [-chaos-seed S]
+                    [-metrics-addr host:port]
   histserved tables [-addr host:port]                   list served tables
   histserved scan   [-addr host:port] [-o file] <table> <column>
   histserved stats  [-addr host:port] <table> <column>
+
+-metrics-addr exposes live introspection over HTTP: /metrics (Prometheus
+text), /scans (recent scan traces as JSON), /healthz, /debug/pprof/*.
 
 chaos profiles (deterministic fault injection; for testing the fail-open
 posture — never enable in production): corruption-heavy, lane-failure-heavy,
@@ -76,17 +83,22 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "drain worker pool size (0 = default)")
 	chaos := fs.String("chaos", "", "fault-injection profile (corruption-heavy, lane-failure-heavy, network-flaky)")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP introspection address (/metrics, /scans, /healthz, /debug/pprof); empty disables")
 	fs.Parse(args)
 
-	cfg := server.Config{DrainWorkers: *workers}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	o := obs.New()
+	o.Log = log
+
+	cfg := server.Config{DrainWorkers: *workers, Obs: o}
 	if *chaos != "" {
 		profile, err := faults.ByName(*chaos)
 		if err != nil {
 			return err
 		}
 		cfg.Faults = faults.New(*chaosSeed, profile)
-		fmt.Printf("histserved: CHAOS MODE — injecting %q faults (seed %d); expect Degraded scans\n",
-			*chaos, *chaosSeed)
+		log.Warn("CHAOS MODE: injecting faults; expect Degraded scans",
+			"profile", *chaos, "seed", *chaosSeed)
 	}
 	srv := server.New(cfg)
 	if err := srv.Register(tpch.Lineitem(*rows, 1, *seed)); err != nil {
@@ -100,18 +112,35 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("histserved: serving on %s (2 tables, %d rows each; ^C for graceful shutdown)\n",
-		ln.Addr(), *rows)
+	log.Info("serving (^C for graceful shutdown)", "addr", ln.Addr().String(),
+		"tables", 2, "rows", *rows)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: obs.Handler(srv.Obs(), nil)}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		log.Info("introspection endpoints up",
+			"addr", mln.Addr().String(),
+			"endpoints", "/metrics /scans /healthz /debug/pprof/")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = srv.Serve(ctx, ln)
 	m := srv.Metrics()
-	fmt.Printf("histserved: served %d scans (%d pages, %.1f MiB), refreshed %d histograms, %d stats requests\n",
-		m.ScansServed, m.PagesMoved, float64(m.BytesMoved)/(1<<20), m.HistogramsRefreshed, m.StatsServed)
+	log.Info("served totals",
+		"scans", m.ScansServed, "pages", m.PagesMoved,
+		"mib", fmt.Sprintf("%.1f", float64(m.BytesMoved)/(1<<20)),
+		"histograms_refreshed", m.HistogramsRefreshed, "stats_served", m.StatsServed)
 	if m.ScansDegraded > 0 || m.PagesQuarantined > 0 || m.LanesRetired > 0 || m.RetriesServed > 0 {
-		fmt.Printf("histserved: degraded %d scans (quarantined %d pages, retired %d lanes, served %d resumes)\n",
-			m.ScansDegraded, m.PagesQuarantined, m.LanesRetired, m.RetriesServed)
+		log.Warn("degradation totals",
+			"scans_degraded", m.ScansDegraded, "pages_quarantined", m.PagesQuarantined,
+			"lanes_retired", m.LanesRetired, "resumes_served", m.RetriesServed,
+			"ecc_corrected", m.FaultsCorrected, "bins_quarantined", m.BinsQuarantined)
 	}
 	if err == server.ErrServerClosed {
 		return nil

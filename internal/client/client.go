@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"streamhist/internal/hist"
+	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/server"
 )
@@ -29,6 +30,27 @@ type Client struct {
 	redial      func() (net.Conn, error)
 	maxAttempts int
 	backoff     time.Duration
+
+	// Observability hooks; all nil-safe, wired by SetObs.
+	o           *obs.Obs
+	redials     *obs.Counter
+	badPages    *obs.Counter
+	scansFailed *obs.Counter
+}
+
+// SetObs wires the client's retry machinery into an observability bundle:
+// redials, in-flight checksum failures, and abandoned scans become counters,
+// and each reconnect/backoff decision is logged through the bundle's logger.
+// Never required — an unwired client skips all of it.
+func (c *Client) SetObs(o *obs.Obs) {
+	c.o = o
+	reg := o.Registry()
+	c.redials = reg.Counter("streamhist_client_redials_total",
+		"Reconnects performed to resume interrupted scans.")
+	c.badPages = reg.Counter("streamhist_client_bad_pages_total",
+		"Received pages rejected for an in-flight checksum mismatch.")
+	c.scansFailed = reg.Counter("streamhist_client_scans_failed_total",
+		"Scans abandoned after exhausting the retry budget (or with no redial installed).")
 }
 
 // Dial connects to a histserved address.
@@ -183,6 +205,9 @@ func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error
 			sum.Retries = retries
 			return sum, nil
 		}
+		if errors.Is(err, errBadPage) {
+			c.badPages.Inc()
+		}
 		if delivered > before {
 			// Forward progress: the failure budget is for getting stuck,
 			// not for how often a long scan trips, so it resets — the loop
@@ -193,12 +218,20 @@ func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error
 			stalled++
 		}
 		if !retryable(err) || c.redial == nil || stalled >= c.maxAttempts {
+			c.scansFailed.Inc()
+			c.o.Logger().Warn("scan abandoned", "table", table, "column", column,
+				"retries", retries, "delivered_pages", delivered, "err", err.Error())
 			return nil, err
 		}
 		retries++
+		c.redials.Inc()
+		c.o.Logger().Warn("scan interrupted, redialling", "table", table,
+			"column", column, "resume_page", delivered, "backoff", backoff,
+			"err", err.Error())
 		time.Sleep(backoff)
 		backoff *= 2
 		if rerr := c.reconnect(); rerr != nil {
+			c.scansFailed.Inc()
 			return nil, fmt.Errorf("%w (reconnect failed: %v)", err, rerr)
 		}
 	}

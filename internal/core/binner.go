@@ -25,6 +25,10 @@ type BinnerConfig struct {
 	// the bin and surface as BinnerStats.BinsQuarantined so a histogram
 	// built over the view can be marked degraded instead of silently wrong.
 	Faults *faults.Injector
+	// MemEvents, when any sink is set, receives live ECC/latency events from
+	// the fault-injected memory model as they happen (in addition to the
+	// cumulative BinnerStats accounting). Ignored when Faults is nil.
+	MemEvents hw.MemEvents
 }
 
 // DefaultBinnerConfig returns the paper's prototype parameters.
@@ -161,6 +165,7 @@ func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
 	var mem *hw.Memory
 	if cfg.Faults != nil {
 		mem = hw.NewMemory(int(pre.NumBins), cfg.Faults)
+		mem.SetEvents(cfg.MemEvents)
 	}
 	return &Binner{
 		cfg:               cfg,

@@ -153,6 +153,39 @@ type Injector struct {
 
 	mu     sync.Mutex
 	states map[Point]*pointState
+
+	// agg accumulates hits across this injector and every descendant of the
+	// same Fork tree, so a monitoring scrape sees one process-lifetime count
+	// per point even though each scan and lane works from its own fork.
+	agg *hitTotals
+}
+
+// hitTotals is the fork-shared hit aggregate.
+type hitTotals struct {
+	mu   sync.Mutex
+	hits map[Point]int64
+}
+
+func (h *hitTotals) add(p Point) {
+	h.mu.Lock()
+	h.hits[p]++
+	h.mu.Unlock()
+}
+
+func (h *hitTotals) get(p Point) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits[p]
+}
+
+func (h *hitTotals) all() map[Point]int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[Point]int64, len(h.hits))
+	for p, n := range h.hits {
+		out[p] = n
+	}
+	return out
 }
 
 type pointState struct {
@@ -169,6 +202,7 @@ func New(seed uint64, profile Profile) *Injector {
 		seed:    seed,
 		profile: profile.Clone(),
 		states:  make(map[Point]*pointState),
+		agg:     &hitTotals{hits: make(map[Point]int64)},
 	}
 }
 
@@ -231,6 +265,7 @@ func (in *Injector) Should(p Point) bool {
 	}
 	if st.rate >= 1 || st.next() < st.rate {
 		st.hits++
+		in.agg.add(p)
 		return true
 	}
 	return false
@@ -261,7 +296,9 @@ func (in *Injector) Fork(label string) *Injector {
 	if in == nil {
 		return nil
 	}
-	return New(splitmix64(in.seed^hashString(label)), in.profile)
+	child := New(splitmix64(in.seed^hashString(label)), in.profile)
+	child.agg = in.agg // the whole fork tree shares one hit aggregate
+	return child
 }
 
 // Hits returns how many times p has fired on this injector.
@@ -288,6 +325,25 @@ func (in *Injector) Calls(p Point) int64 {
 		return st.calls
 	}
 	return 0
+}
+
+// TotalHits returns how many times p has fired across this injector's whole
+// Fork tree (every scan's and lane's child injector included). Nil injectors
+// return 0.
+func (in *Injector) TotalHits(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.agg.get(p)
+}
+
+// AllTotalHits returns the fork-tree-wide hit counts for every point that has
+// fired at least once. Nil injectors return nil.
+func (in *Injector) AllTotalHits() map[Point]int64 {
+	if in == nil {
+		return nil
+	}
+	return in.agg.all()
 }
 
 // Snapshot returns the per-point hit counts (points never visited are

@@ -197,6 +197,26 @@ func equiDepthOverBins(nz []bins.Bin, total int64, b int) []Bucket {
 	return out
 }
 
+// BuildEquiDepthFromBins constructs an equi-depth histogram with
+// (approximately) b buckets directly from run-length (value, count) bins in
+// ascending value order, without materialising a dense vector over the value
+// span. This is the path for sparse, wide domains — nanosecond latency
+// telemetry being the canonical case — where BuildFromBins' dense facade
+// would allocate the whole range.
+func BuildEquiDepthFromBins(nz []bins.Bin, b int) *Histogram {
+	validateRequest("equi-depth", b)
+	var total int64
+	for _, bin := range nz {
+		total += bin.Count
+	}
+	return &Histogram{
+		Kind:          EquiDepth,
+		Buckets:       equiDepthOverBins(nz, total, b),
+		Total:         total,
+		DistinctTotal: int64(len(nz)),
+	}
+}
+
 // BuildEquiDepth constructs an equi-depth histogram with (approximately) b
 // buckets from the binned view.
 func BuildEquiDepth(v *bins.Vector, b int) *Histogram {

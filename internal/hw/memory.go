@@ -19,6 +19,8 @@ type Memory struct {
 	corrected   int64
 	quarantined int64
 	spikeCycles int64
+
+	events MemEvents
 }
 
 // NewMemory builds a zeroed, ECC-clean memory of n words. The injector may
@@ -45,17 +47,31 @@ func (m *Memory) scrubWord(addr int64) int64 {
 	w, status := ECCCorrect(uint64(m.words[addr]), m.ecc[addr])
 	switch status {
 	case ECCCorrected:
-		m.corrected++
+		m.noteCorrected()
 		m.words[addr] = int64(w)
 	case ECCUncorrectable:
 		// The count is unrecoverable; zero the bin so downstream consumers
 		// see a well-formed (if incomplete) view, and count the loss.
-		m.quarantined++
+		m.noteQuarantined()
 		m.words[addr] = 0
 		m.ecc[addr] = ECCEncode(0)
 		return 0
 	}
 	return int64(w)
+}
+
+func (m *Memory) noteCorrected() {
+	m.corrected++
+	if m.events.Corrected != nil {
+		m.events.Corrected.Add(1)
+	}
+}
+
+func (m *Memory) noteQuarantined() {
+	m.quarantined++
+	if m.events.Quarantined != nil {
+		m.events.Quarantined.Add(1)
+	}
 }
 
 // Increment performs the read-modify-write of one binning update, applying
@@ -66,6 +82,9 @@ func (m *Memory) Increment(addr int64) (spike int64) {
 		// A spike stretches the access by 1–10× the nominal latency.
 		spike = DefaultMemLatencyCycles * (1 + m.inj.Intn(faults.MemLatencySpike, 10))
 		m.spikeCycles += spike
+		if m.events.SpikeCycles != nil {
+			m.events.SpikeCycles.Add(spike)
+		}
 	}
 
 	// Read path: a transient upset flips a bit of the data as it crosses
@@ -77,9 +96,9 @@ func (m *Memory) Increment(addr int64) (spike int64) {
 	fixed, status := ECCCorrect(uint64(w), m.ecc[addr])
 	switch status {
 	case ECCCorrected:
-		m.corrected++
+		m.noteCorrected()
 	case ECCUncorrectable:
-		m.quarantined++
+		m.noteQuarantined()
 		fixed = 0
 	}
 

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"streamhist/internal/bins"
+	"streamhist/internal/hist"
+)
+
+// Distribution geometry: log-linear bins, the classic HDR layout. Values
+// below 2·subBuckets are recorded exactly; above that, each power-of-two
+// octave is sliced into subBuckets linear sub-bins, bounding the relative
+// quantisation error at 1/subBuckets (6.25%) across the whole int64 range.
+// The result is a fixed array of atomic counters — the same "binned sorted
+// view in bounded memory" shape as the paper's Binner region, just keyed by
+// magnitude instead of column value — over which the repository's own
+// equi-depth construction computes quantiles at scrape time.
+const (
+	distSubBits     = 4
+	distSubBuckets  = 1 << distSubBits // 16
+	distFirstOctave = distSubBits + 1  // values < 1<<distFirstOctave are exact
+	distNumBins     = 2*distSubBuckets + (63-distFirstOctave)*distSubBuckets
+)
+
+// distIndex maps a non-negative value to its bin.
+func distIndex(v int64) int {
+	if v < 2*distSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= distFirstOctave
+	sub := (v >> uint(exp-distSubBits)) - distSubBuckets
+	return 2*distSubBuckets + (exp-distFirstOctave)*distSubBuckets + int(sub)
+}
+
+// distLow returns the lowest value mapping to bin i — the representative the
+// quantile machinery uses. Monotonically increasing in i.
+func distLow(i int) int64 {
+	if i < 2*distSubBuckets {
+		return int64(i)
+	}
+	i -= 2 * distSubBuckets
+	exp := distFirstOctave + i/distSubBuckets
+	sub := int64(i % distSubBuckets)
+	base := int64(1) << uint(exp)
+	return base + sub*(base>>distSubBits)
+}
+
+// Distribution is a lock-free streaming summary of an observed quantity
+// (latency, size): Observe costs three atomic adds and zero allocations.
+// Quantiles are produced on demand by running the recorded bins through the
+// hist package's equi-depth construction — the paper's own algorithm
+// summarising the system's own telemetry. Nil receivers no-op.
+type Distribution struct {
+	name  string
+	scale float64 // exposition multiplier (1e-9: observe ns, expose seconds)
+
+	count atomic.Int64
+	sum   atomic.Int64
+	bin   [distNumBins]atomic.Int64
+}
+
+func newDistribution(name string, scale float64) *Distribution {
+	if scale == 0 {
+		scale = 1
+	}
+	return &Distribution{name: name, scale: scale}
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (d *Distribution) Observe(v int64) {
+	if d == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	d.bin[distIndex(v)].Add(1)
+	d.count.Add(1)
+	d.sum.Add(v)
+}
+
+// Count returns how many values have been observed.
+func (d *Distribution) Count() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.count.Load()
+}
+
+// Sum returns the total of all observed values (pre-scale units).
+func (d *Distribution) Sum() int64 {
+	if d == nil {
+		return 0
+	}
+	return d.sum.Load()
+}
+
+// Histogram builds an equi-depth histogram over the recorded bins using the
+// hist package — the same construction the accelerator's Histogram module
+// runs over the Binner's region. Returns nil when nothing was observed.
+// Under concurrent Observes the view is a consistent-enough snapshot for
+// monitoring: each bin is read once, atomically.
+func (d *Distribution) Histogram(buckets int) *hist.Histogram {
+	if d == nil {
+		return nil
+	}
+	nz := make([]bins.Bin, 0, 64)
+	for i := 0; i < distNumBins; i++ {
+		if n := d.bin[i].Load(); n > 0 {
+			nz = append(nz, bins.Bin{Value: distLow(i), Count: n})
+		}
+	}
+	if len(nz) == 0 {
+		return nil
+	}
+	return hist.BuildEquiDepthFromBins(nz, buckets)
+}
+
+// Quantile returns the approximate value (pre-scale units) at q ∈ [0,1], or
+// 0 when nothing was observed yet.
+func (d *Distribution) Quantile(q float64) int64 {
+	h := d.Histogram(distQuantileBuckets)
+	if h == nil {
+		return 0
+	}
+	v, err := h.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// distQuantileBuckets is the equi-depth resolution used for scrape-time
+// quantiles; 64 buckets bounds per-bucket mass at ~1.6% of observations.
+const distQuantileBuckets = 64
+
+// distQuantiles are the quantiles every distribution exposes on /metrics.
+var distQuantiles = []float64{0.5, 0.9, 0.99}

@@ -1,0 +1,21 @@
+// Package obs is the repository's self-hosted observability layer: a
+// zero-dependency metrics registry, per-scan trace spans, and the HTTP
+// introspection surface histserved mounts on -metrics-addr.
+//
+// The design discipline mirrors the paper's no-cost-to-the-stream rule: the
+// instrumentation primitives are single atomics (counters, gauges) or a
+// handful of atomics (distributions), registry lookups happen at wiring time
+// rather than on the hot path, and trace spans live in slabs allocated once
+// per scan — never per page. Turning every instrument off is a nil registry:
+// all instrument methods are nil-safe no-ops, so the same call sites compile
+// to a pointer check when observability is unwired (the pattern
+// internal/faults established for chaos hooks).
+//
+// Dogfooding is the point, not a gimmick: latency and size distributions are
+// recorded into a fixed array of atomic bins — the same "binned sorted view"
+// the paper's Binner maintains in accelerator memory — and their p50/p90/p99
+// are produced by streaming the bins through this repository's own equi-depth
+// histogram construction (hist.BuildEquiDepthFromBins + Histogram.Quantile).
+// The system's telemetry is summarised by the algorithm the system exists to
+// accelerate.
+package obs

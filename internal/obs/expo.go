@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers once per metric
+// family, counters and gauges as single samples, distributions as summaries
+// with p50/p90/p99 quantile samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, m := range sortedForExposition(r.snapshot()) {
+		if m.base != lastBase {
+			lastBase = m.base
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.base, escapeHelp(m.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.base, m.kind)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fnValue()))
+		case kindDist:
+			writeSummary(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSummary renders one distribution as a Prometheus summary family.
+func writeSummary(w io.Writer, m *metric) {
+	d := m.dist
+	h := d.Histogram(distQuantileBuckets)
+	base, labels := m.base, ""
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		labels = m.name[i+1 : len(m.name)-1]
+	}
+	for _, q := range distQuantiles {
+		var v int64
+		if h != nil {
+			if qv, err := h.Quantile(q); err == nil {
+				v = qv
+			}
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		fmt.Fprintf(w, "%s{%s%squantile=\"%s\"} %s\n",
+			base, labels, sep, formatFloat(q), formatFloat(float64(v)*d.scale))
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, formatFloat(float64(d.Sum())*d.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, d.Count())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ValidateExposition parses a Prometheus text exposition document and
+// returns the first malformed line it finds, or nil when every line is
+// well-formed. It checks comment structure, metric-name and label syntax,
+// and that every sample value parses as a float. The CI metrics-smoke job
+// and `histcli metrics -check` both gate on this, so a formatting
+// regression in the registry fails fast instead of silently breaking
+// scrapers.
+func ValidateExposition(data []byte) error {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	sawSample := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		sawSample = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+func validateComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment, allowed
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	default:
+		// Other comments are legal and ignored.
+	}
+	return nil
+}
+
+func validateSample(line string) error {
+	// name[{labels}] value [timestamp]
+	rest := line
+	var name string
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := validateLabels(rest[i+1 : end]); err != nil {
+			return fmt.Errorf("%v in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		// The format also allows +Inf/-Inf/NaN which ParseFloat accepts.
+		return fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return nil
+}

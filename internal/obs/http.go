@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler mounts the live introspection surface over an Obs bundle:
+//
+//	/metrics        Prometheus text exposition of every registered metric
+//	/healthz        200 "ok" (or 503 + reason when healthy() returns an error)
+//	/scans          recent scan traces as JSON, newest first (?n=K, default 32)
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// healthy may be nil (always healthy). The handler holds no locks across
+// requests and is safe to serve concurrently with the instrumented workload.
+func Handler(o *Obs, healthy func() error) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry().WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/scans", func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "scans: n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		traces := o.Tracer().Recent(n)
+		if traces == nil {
+			traces = []*ScanTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(traces)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp, body
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	o := New()
+	o.Reg.Counter("streamhist_httptest_total", "docs").Add(11)
+	tt := o.Trace.Start(42, "lineitem", "l_quantity", 4)
+	tt.End(tt.Begin("accept"), 0)
+	o.Trace.Publish(tt)
+
+	var unhealthy atomic.Bool
+	srv := httptest.NewServer(Handler(o, func() error {
+		if unhealthy.Load() {
+			return errors.New("drain pool saturated")
+		}
+		return nil
+	}))
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v", err)
+	}
+	if !strings.Contains(string(body), "streamhist_httptest_total 11\n") {
+		t.Fatalf("/metrics missing registered counter:\n%s", body)
+	}
+
+	resp, body = get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	unhealthy.Store(true)
+	resp, body = get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "drain pool saturated") {
+		t.Fatalf("unhealthy /healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, body = get(t, srv, "/scans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scans status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/scans content type %q", ct)
+	}
+	var traces []ScanTrace
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatalf("/scans JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].ID != 42 || traces[0].Table != "lineitem" {
+		t.Fatalf("/scans traces: %+v", traces)
+	}
+
+	if resp, _ := get(t, srv, "/scans?n=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/scans?n=bogus status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv, "/scans?n=-3"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/scans?n=-3 status %d, want 400", resp.StatusCode)
+	}
+
+	if resp, _ := get(t, srv, "/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}
+
+// TestHandlerNilHealthAndEmptyState checks the degenerate wiring: no health
+// probe, no traces, empty registry — the endpoints still answer (an empty
+// registry legitimately fails exposition validation, so /metrics is just
+// checked for 200).
+func TestHandlerNilHealthAndEmptyState(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(), nil))
+	defer srv.Close()
+
+	if resp, _ := get(t, srv, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz with nil probe = %d", resp.StatusCode)
+	}
+	resp, body := get(t, srv, "/scans")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("empty /scans = %d %q, want 200 []", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, srv, "/metrics"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty /metrics = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Obs bundles the three observability facilities a component needs: the
+// metrics registry, the scan tracer, and a structured logger. A nil *Obs is
+// valid everywhere (all accessors degrade to no-ops), so components accept
+// one without guarding.
+type Obs struct {
+	Reg   *Registry
+	Trace *Tracer
+	Log   *slog.Logger
+}
+
+// New returns a fully wired Obs: fresh registry, a DefaultTraceRing-deep
+// tracer, and a no-op logger (replace Log to get output).
+func New() *Obs {
+	return &Obs{Reg: NewRegistry(), Trace: NewTracer(0), Log: NopLogger()}
+}
+
+// Registry returns the bundle's registry; nil for a nil bundle.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// Tracer returns the bundle's tracer; nil for a nil bundle.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Logger returns the bundle's logger, or the shared no-op logger when the
+// bundle (or its Log field) is nil — callers can always log unconditionally.
+func (o *Obs) Logger() *slog.Logger {
+	if o == nil || o.Log == nil {
+		return nopLogger
+	}
+	return o.Log
+}
+
+// nopHandler drops everything; Enabled short-circuits before any attribute
+// work happens, so an unconfigured logger costs one interface call.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards every record.
+func NopLogger() *slog.Logger { return nopLogger }

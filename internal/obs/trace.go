@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of a scan: request decode, page streaming, one
+// side-path lane, the fan-in merge, the catalog install. Spans carry both
+// wall-clock nanoseconds (what the goroutines actually took) and simulated
+// hardware cycles (what the modelled accelerator charged), so a trace shows
+// exactly where the two accounts diverge.
+type Span struct {
+	Name string `json:"name"`
+	// Lane is the side-path lane index for lane spans, -1 otherwise.
+	Lane    int   `json:"lane"`
+	StartNS int64 `json:"start_ns"` // unix nanoseconds
+	DurNS   int64 `json:"dur_ns"`
+	// HWCycles is the simulated accelerator cost attributed to this span
+	// (per-lane binning cycles for lane spans; aggregation pass plus
+	// histogram chain for the merge span; zero for wall-only spans).
+	HWCycles int64 `json:"hw_cycles"`
+	// Retired marks a lane span whose lane was removed by the supervisor;
+	// its partial hardware accounting was discarded.
+	Retired bool `json:"retired,omitempty"`
+}
+
+// ScanTrace is the per-scan trace record. It has a single-writer lifecycle:
+// the serving goroutine mutates it while the scan runs and publishes it to
+// the tracer's ring exactly once, after which it is immutable — readers only
+// ever see published traces. The span slab is allocated once at Start (sized
+// by the expected span count), never per page. All methods are nil-safe so
+// an unwired tracer costs one pointer check per scan phase.
+type ScanTrace struct {
+	ID     uint64 `json:"id"`
+	Table  string `json:"table"`
+	Column string `json:"column,omitempty"`
+	// StartNS is the scan's start in unix nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// WallNS is the scan's total wall-clock duration.
+	WallNS int64 `json:"wall_ns"`
+	// AccelCycles is the scan's simulated accelerator total (max lane
+	// critical path + aggregation + histogram chain): the lane spans'
+	// maximum HWCycles plus the merge span's HWCycles reproduce it.
+	AccelCycles uint64 `json:"accel_cycles"`
+	Refreshed   bool   `json:"refreshed"`
+	Degraded    bool   `json:"degraded"`
+	Err         string `json:"error,omitempty"`
+	Spans       []Span `json:"spans"`
+
+	begin time.Time // monotonic anchor for Begin/End
+}
+
+// Begin opens a wall-clock span and returns its index for End. Nil-safe.
+func (t *ScanTrace) Begin(name string) int {
+	if t == nil {
+		return -1
+	}
+	t.Spans = append(t.Spans, Span{
+		Name:    name,
+		Lane:    -1,
+		StartNS: t.StartNS + int64(time.Since(t.begin)),
+	})
+	return len(t.Spans) - 1
+}
+
+// End closes the span opened by Begin, attributing hw simulated cycles.
+func (t *ScanTrace) End(idx int, hwCycles int64) {
+	if t == nil || idx < 0 || idx >= len(t.Spans) {
+		return
+	}
+	sp := &t.Spans[idx]
+	sp.DurNS = t.StartNS + int64(time.Since(t.begin)) - sp.StartNS
+	sp.HWCycles = hwCycles
+}
+
+// AddSpan records a span whose endpoints were captured elsewhere (lane
+// goroutines record their own start/end into atomics; the serving goroutine
+// copies them here after joining the lane). Zero start/end fall back to the
+// trace's own window so a lane that never ran still renders.
+func (t *ScanTrace) AddSpan(name string, lane int, startNS, endNS, hwCycles int64, retired bool) {
+	if t == nil {
+		return
+	}
+	now := t.StartNS + int64(time.Since(t.begin))
+	if startNS == 0 {
+		startNS = t.StartNS
+	}
+	if endNS == 0 || endNS < startNS {
+		endNS = now
+	}
+	t.Spans = append(t.Spans, Span{
+		Name:     name,
+		Lane:     lane,
+		StartNS:  startNS,
+		DurNS:    endNS - startNS,
+		HWCycles: hwCycles,
+		Retired:  retired,
+	})
+}
+
+// Tracer keeps the most recent published scan traces in a fixed ring.
+// Nil tracers hand out nil traces, so tracing disables to pointer checks.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []*ScanTrace
+	next  int
+	total uint64
+}
+
+// DefaultTraceRing is how many recent scans a tracer retains by default.
+const DefaultTraceRing = 64
+
+// NewTracer returns a tracer retaining the last capacity published traces
+// (capacity <= 0 means DefaultTraceRing).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]*ScanTrace, capacity)}
+}
+
+// Start opens a trace for one scan. spanCap sizes the span slab (expected
+// span count: lanes + a few fixed phases); the slab grows if the estimate is
+// short, but a correct estimate means one allocation per scan.
+func (tr *Tracer) Start(id uint64, table, column string, spanCap int) *ScanTrace {
+	if tr == nil {
+		return nil
+	}
+	if spanCap < 4 {
+		spanCap = 4
+	}
+	now := time.Now()
+	return &ScanTrace{
+		ID:      id,
+		Table:   table,
+		Column:  column,
+		StartNS: now.UnixNano(),
+		Spans:   make([]Span, 0, spanCap),
+		begin:   now,
+	}
+}
+
+// Publish finalises the trace's wall clock and makes it visible to readers.
+// The caller must not mutate t afterwards.
+func (tr *Tracer) Publish(t *ScanTrace) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.WallNS = int64(time.Since(t.begin))
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	tr.total++
+	tr.mu.Unlock()
+}
+
+// Total returns how many traces have ever been published.
+func (tr *Tracer) Total() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.total
+}
+
+// Recent returns up to n published traces, newest first.
+func (tr *Tracer) Recent(n int) []*ScanTrace {
+	if tr == nil || n <= 0 {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if n > len(tr.ring) {
+		n = len(tr.ring)
+	}
+	out := make([]*ScanTrace, 0, n)
+	for i := 0; i < len(tr.ring) && len(out) < n; i++ {
+		idx := (tr.next - 1 - i + 2*len(tr.ring)) % len(tr.ring)
+		if t := tr.ring[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

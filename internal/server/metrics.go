@@ -1,26 +1,108 @@
 package server
 
-import "sync/atomic"
+import (
+	"fmt"
 
-// metrics is the server's hot-path instrumentation. Counters are plain
-// atomics so a scan never takes a lock to account for itself.
+	"streamhist/internal/hw"
+	"streamhist/internal/obs"
+)
+
+// metrics is the server's instrumentation, backed by registry instruments so
+// a single atomic update feeds both MetricsSnapshot and the /metrics
+// exposition. Counters are bumped once per scan/phase, never per page or per
+// value, so the hot path cost is unchanged from the old plain-atomics struct.
 type metrics struct {
-	scansServed   atomic.Int64
-	pagesMoved    atomic.Int64
-	bytesMoved    atomic.Int64
-	rowsBinned    atomic.Int64
-	histRefreshed atomic.Int64
-	statsServed   atomic.Int64
-	sideSkipped   atomic.Int64
-	parseErrors   atomic.Int64
-	accelCycles   atomic.Int64
-	activeConns   atomic.Int64
-	laneMerges    atomic.Int64
+	scansServed   *obs.Counter
+	pagesMoved    *obs.Counter
+	bytesMoved    *obs.Counter
+	rowsBinned    *obs.Counter
+	histRefreshed *obs.Counter
+	statsServed   *obs.Counter
+	sideSkipped   *obs.Counter
+	parseErrors   *obs.Counter
+	accelCycles   *obs.Counter
+	laneMerges    *obs.Counter
 
-	pagesQuarantined atomic.Int64
-	lanesRetired     atomic.Int64
-	scansDegraded    atomic.Int64
-	retriesServed    atomic.Int64
+	pagesQuarantined *obs.Counter
+	lanesRetired     *obs.Counter
+	scansDegraded    *obs.Counter
+	retriesServed    *obs.Counter
+
+	// faultsCorrected / binsQuarantined fold the merged side path's ECC
+	// accounting (BinnerStats.FaultsCorrected / BinsQuarantined) in at
+	// fan-in, scan by scan.
+	faultsCorrected *obs.Counter
+	binsQuarantined *obs.Counter
+
+	activeConns *obs.Gauge
+	shardLanes  *obs.Gauge
+
+	// laneCycles holds the last refreshed scan's per-lane binning cycles,
+	// one gauge per configured shard lane.
+	laneCycles []*obs.Gauge
+
+	// scanLatency records every served scan's wall-clock duration
+	// (nanoseconds in, seconds out) through the streaming-histogram
+	// distribution, so /metrics p50/p90/p99 come from the repository's own
+	// equi-depth construction.
+	scanLatency *obs.Distribution
+
+	// memEvents feeds live ECC/latency events from the fault-injected bin
+	// memories, including lanes later retired (unlike the folded counters
+	// above, which only see state that survived to the merge).
+	memEvents hw.MemEvents
+}
+
+// newMetrics registers the server's instruments. A nil registry yields nil
+// instruments throughout — every update degrades to a pointer check.
+func newMetrics(reg *obs.Registry, lanes int) metrics {
+	m := metrics{
+		scansServed:   reg.Counter("streamhist_server_scans_served_total", "Completed SCAN requests."),
+		pagesMoved:    reg.Counter("streamhist_server_pages_moved_total", "Page images delivered across all served scans."),
+		bytesMoved:    reg.Counter("streamhist_server_bytes_moved_total", "Page payload bytes delivered across all served scans."),
+		rowsBinned:    reg.Counter("streamhist_server_rows_binned_total", "Column values pushed through the Binner side path."),
+		histRefreshed: reg.Counter("streamhist_server_histograms_refreshed_total", "Catalog installs produced by served scans."),
+		statsServed:   reg.Counter("streamhist_server_stats_served_total", "Answered STATS requests."),
+		sideSkipped:   reg.Counter("streamhist_server_side_skipped_total", "Scans streamed without a side path because the drain pool was saturated."),
+		parseErrors:   reg.Counter("streamhist_server_parse_errors_total", "Side paths abandoned on malformed page bytes."),
+		accelCycles:   reg.Counter("streamhist_server_accel_cycles_total", "Simulated accelerator cycles (binning pipeline plus histogram chain) across refreshes."),
+		laneMerges:    reg.Counter("streamhist_server_lane_merges_total", "Binner-state merges performed at side-path fan-in."),
+
+		pagesQuarantined: reg.Counter("streamhist_server_pages_quarantined_total", "Side-path page copies that failed their storage checksum and were skipped."),
+		lanesRetired:     reg.Counter("streamhist_server_lanes_retired_total", "Side-path lanes abandoned after a panic or a stall past the supervision timeout."),
+		scansDegraded:    reg.Counter("streamhist_server_scans_degraded_total", "Scans whose summary reported a degraded (or absent) statistics side effect."),
+		retriesServed:    reg.Counter("streamhist_server_retries_served_total", "Scans resumed from a nonzero page offset by a reconnecting client."),
+
+		faultsCorrected: reg.Counter("streamhist_server_ecc_corrected_total", "Injected bin-memory upsets ECC repaired in merged side-path state."),
+		binsQuarantined: reg.Counter("streamhist_server_bins_quarantined_total", "Bins lost to uncorrectable memory upsets in merged side-path state."),
+
+		activeConns: reg.Gauge("streamhist_server_active_conns", "Currently registered connections."),
+		shardLanes:  reg.Gauge("streamhist_server_shard_lanes", "Configured side-path fan-out (parallel Parser+Binner lanes per scan)."),
+
+		scanLatency: reg.Distribution("streamhist_server_scan_duration_seconds", "Wall-clock duration of served scans.", 1e-9),
+
+		memEvents: hw.MemEvents{
+			Corrected:   reg.Counter("streamhist_hw_ecc_corrected_events_total", "Live single-bit bin-memory upsets repaired by ECC (all lanes, retired included)."),
+			Quarantined: reg.Counter("streamhist_hw_ecc_quarantined_events_total", "Live bin-memory words lost to uncorrectable upsets (all lanes, retired included)."),
+			SpikeCycles: reg.Counter("streamhist_hw_mem_spike_cycles_total", "Extra cycles injected by memory latency spikes."),
+		},
+	}
+	m.shardLanes.Set(int64(lanes))
+	m.laneCycles = make([]*obs.Gauge, lanes)
+	for i := range m.laneCycles {
+		m.laneCycles[i] = reg.Gauge(
+			fmt.Sprintf("streamhist_server_lane_cycles{lane=%q}", fmt.Sprint(i)),
+			"Binning cycles charged to each side-path lane by the most recent refreshed scan.")
+	}
+	return m
+}
+
+// setLaneCycles records one healthy lane's binning cycles from the most
+// recent refreshed scan.
+func (m *metrics) setLaneCycles(lane int, cycles int64) {
+	if lane >= 0 && lane < len(m.laneCycles) {
+		m.laneCycles[lane].Set(cycles)
+	}
 }
 
 // MetricsSnapshot is a point-in-time copy of the server counters.
@@ -64,26 +146,35 @@ type MetricsSnapshot struct {
 	// RetriesServed counts scans resumed from a nonzero page offset by a
 	// reconnecting client.
 	RetriesServed int64
+	// FaultsCorrected counts injected bin-memory upsets that ECC repaired in
+	// side-path state that survived to the fan-in merge.
+	FaultsCorrected int64
+	// BinsQuarantined counts bins lost to uncorrectable memory upsets in
+	// merged side-path state (the histogram was marked degraded).
+	BinsQuarantined int64
 }
 
-// Metrics returns a snapshot of the server's counters.
+// Metrics returns a snapshot of the server's counters. It reads the same
+// registry instruments /metrics exposes, so the two views cannot drift.
 func (s *Server) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		ScansServed:         s.metrics.scansServed.Load(),
-		PagesMoved:          s.metrics.pagesMoved.Load(),
-		BytesMoved:          s.metrics.bytesMoved.Load(),
-		RowsBinned:          s.metrics.rowsBinned.Load(),
-		HistogramsRefreshed: s.metrics.histRefreshed.Load(),
-		StatsServed:         s.metrics.statsServed.Load(),
-		SideSkipped:         s.metrics.sideSkipped.Load(),
-		ParseErrors:         s.metrics.parseErrors.Load(),
-		AccelCycles:         s.metrics.accelCycles.Load(),
-		ActiveConns:         s.metrics.activeConns.Load(),
+		ScansServed:         s.metrics.scansServed.Value(),
+		PagesMoved:          s.metrics.pagesMoved.Value(),
+		BytesMoved:          s.metrics.bytesMoved.Value(),
+		RowsBinned:          s.metrics.rowsBinned.Value(),
+		HistogramsRefreshed: s.metrics.histRefreshed.Value(),
+		StatsServed:         s.metrics.statsServed.Value(),
+		SideSkipped:         s.metrics.sideSkipped.Value(),
+		ParseErrors:         s.metrics.parseErrors.Value(),
+		AccelCycles:         s.metrics.accelCycles.Value(),
+		ActiveConns:         s.metrics.activeConns.Value(),
 		ShardLanes:          int64(s.cfg.ShardLanes),
-		LaneMerges:          s.metrics.laneMerges.Load(),
-		PagesQuarantined:    s.metrics.pagesQuarantined.Load(),
-		LanesRetired:        s.metrics.lanesRetired.Load(),
-		ScansDegraded:       s.metrics.scansDegraded.Load(),
-		RetriesServed:       s.metrics.retriesServed.Load(),
+		LaneMerges:          s.metrics.laneMerges.Value(),
+		PagesQuarantined:    s.metrics.pagesQuarantined.Value(),
+		LanesRetired:        s.metrics.lanesRetired.Value(),
+		ScansDegraded:       s.metrics.scansDegraded.Value(),
+		RetriesServed:       s.metrics.retriesServed.Value(),
+		FaultsCorrected:     s.metrics.faultsCorrected.Value(),
+		BinsQuarantined:     s.metrics.binsQuarantined.Value(),
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"streamhist/internal/faults"
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
+	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/table"
 )
@@ -69,6 +70,11 @@ type Config struct {
 	// a side-path lane that stopped accepting frames before retiring it.
 	// Zero means 500ms.
 	SideStallTimeout time.Duration
+	// Obs is the observability bundle: metrics registry, scan tracer, and
+	// structured logger. Nil gets a fresh obs.New() bundle (always-on
+	// observability with a no-op logger); mount obs.Handler(srv.Obs(), ...)
+	// to expose it over HTTP.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -184,22 +190,41 @@ type Server struct {
 	wg sync.WaitGroup
 
 	// scanSeq numbers served scans so each gets its own deterministic
-	// fault-injection fork.
+	// fault-injection fork; the same number keys the scan's trace and its
+	// log records.
 	scanSeq atomic.Int64
 
+	obs     *obs.Obs
 	metrics metrics
 }
 
 // New builds a Server with the given configuration and an empty catalog.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
 	s := &Server{
 		cfg:       cfg,
+		obs:       cfg.Obs,
 		catalog:   dbms.NewCatalog(),
 		tables:    make(map[string]*tableEntry),
 		drainSem:  make(chan struct{}, cfg.DrainWorkers),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]*connState),
+	}
+	s.metrics = newMetrics(cfg.Obs.Registry(), cfg.ShardLanes)
+	if inj := cfg.Faults; inj != nil {
+		// One computed gauge per injection point, read from the injector's
+		// fork-tree-wide aggregate at scrape time: every scan's and lane's
+		// child injector reports into the same totals.
+		for _, p := range faults.Points() {
+			p := p
+			cfg.Obs.Registry().GaugeFunc(
+				fmt.Sprintf("streamhist_fault_injections{point=%q}", obs.LabelValue(string(p))),
+				"Fault-injection hits per point across the whole fork tree.",
+				func() float64 { return float64(inj.TotalHits(p)) })
+		}
 	}
 	frameBytes := cfg.PagesPerFrame * page.Size
 	s.bufPool.New = func() any {
@@ -208,6 +233,10 @@ func New(cfg Config) *Server {
 	}
 	return s
 }
+
+// Obs exposes the server's observability bundle so a command can mount the
+// introspection handler (obs.Handler) or swap in a real logger.
+func (s *Server) Obs() *obs.Obs { return s.obs }
 
 // Catalog exposes the server's statistics dictionary, e.g. to share it with
 // an embedding planner or to inspect it in tests.
@@ -516,26 +545,67 @@ func (s *Server) writeError(bw *bufio.Writer, err error) error {
 // request offset resumes an interrupted scan at that page: the remaining
 // pages stream normally, but the side path is skipped — a partial scan
 // cannot yield an honest histogram — and the summary reports Degraded.
-func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) error {
-	entry, err := s.lookup(req.Table)
-	if err != nil {
-		return s.writeError(bw, err)
+func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (err error) {
+	// The scan number keys everything observable about this scan: its fault
+	// fork, its trace, and its log records.
+	id := uint64(s.scanSeq.Add(1))
+	tr := s.obs.Tracer().Start(id, req.Table, req.Column, s.cfg.ShardLanes+4)
+	scanStart := time.Now()
+	var sum ScanSummary
+	// failure captures request-level errors that are reported to the client
+	// in-band (the connection stays usable, so err stays nil).
+	var failure error
+	defer func() {
+		fail := err
+		if fail == nil {
+			fail = failure
+		}
+		if tr != nil {
+			tr.AccelCycles = sum.AccelCycles
+			tr.Refreshed = sum.Refreshed
+			tr.Degraded = sum.Degraded
+			if fail != nil {
+				tr.Err = fail.Error()
+			}
+		}
+		s.obs.Tracer().Publish(tr)
+		s.metrics.scanLatency.Observe(time.Since(scanStart).Nanoseconds())
+		log := s.obs.Logger()
+		if fail != nil {
+			log.Warn("scan failed", "scan", id, "table", req.Table,
+				"column", req.Column, "err", fail.Error())
+		} else {
+			log.Info("scan served", "scan", id, "table", req.Table,
+				"column", req.Column, "pages", sum.Pages, "bytes", sum.Bytes,
+				"rows", sum.Rows, "refreshed", sum.Refreshed,
+				"degraded", sum.Degraded, "accel_cycles", sum.AccelCycles,
+				"dur", time.Since(scanStart))
+		}
+	}()
+
+	ai := tr.Begin("accept")
+	entry, failure := s.lookup(req.Table)
+	if failure != nil {
+		return s.writeError(bw, failure)
 	}
 	var meta colMeta
 	if req.Column != "" {
 		var ok bool
 		meta, ok = entry.cols[req.Column]
 		if !ok {
-			return s.writeError(bw, fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column))
+			failure = fmt.Errorf("%w: %q.%q", ErrUnknownColumn, req.Table, req.Column)
+			return s.writeError(bw, failure)
 		}
 	}
 	pages := entry.pageImages()
 	sums := entry.pageSums()
 	if req.Offset > uint32(len(pages)) {
-		return s.writeError(bw, fmt.Errorf("%w: resume offset %d beyond %d pages", ErrBadRequest, req.Offset, len(pages)))
+		failure = fmt.Errorf("%w: resume offset %d beyond %d pages", ErrBadRequest, req.Offset, len(pages))
+		return s.writeError(bw, failure)
 	}
+	tr.End(ai, 0)
 
-	inj := s.cfg.Faults.Fork(fmt.Sprintf("scan%d", s.scanSeq.Add(1)))
+	inj := s.cfg.Faults.Fork(fmt.Sprintf("scan%d", id))
 
 	resumed := req.Offset > 0
 	if resumed {
@@ -543,7 +613,7 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) er
 	}
 	var sp *sidePath
 	if !resumed {
-		sp = s.startSidePath(entry, req, meta, inj)
+		sp = s.startSidePath(entry, req, meta, inj, tr)
 		if sp != nil {
 			defer sp.abandon()
 		}
@@ -554,8 +624,8 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) er
 	// reason — saturation, resumption, faults, or the watchdog.
 	sideWanted := req.Column != "" && meta.ok
 
+	si := tr.Begin("stream")
 	frame := make([]byte, 0, s.cfg.PagesPerFrame*(page.Size+PageChecksumSize))
-	var sum ScanSummary
 	for off := int(req.Offset); off < len(pages); off += s.cfg.PagesPerFrame {
 		end := off + s.cfg.PagesPerFrame
 		if end > len(pages) {
@@ -595,6 +665,7 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) er
 			sp.feed(frame[:n], off, inj)
 		}
 	}
+	tr.End(si, 0)
 
 	if sp != nil {
 		side := sp.finish()
@@ -701,6 +772,7 @@ type sideFrame struct {
 // pages and the Parser FSM resets at page boundaries, so lanes never share
 // parser state.
 type sideLane struct {
+	idx    int // lane index within the scan, for traces and gauges
 	parser *core.Parser
 	binner *core.Binner
 	ch     chan sideFrame
@@ -711,6 +783,11 @@ type sideLane struct {
 	faulted     bool // injected panic/stall: the lane's partial work is void
 	quarantined int64
 	done        chan struct{}
+
+	// wallStart/wallEnd bracket the lane goroutine's lifetime in unix
+	// nanoseconds. They are atomics because a lane retired for stalling is
+	// still running when the serving goroutine copies them into the trace.
+	wallStart, wallEnd atomic.Int64
 
 	// dead is the serving goroutine's view: stop feeding this lane.
 	dead bool
@@ -739,6 +816,10 @@ type sidePath struct {
 	next  int // round-robin cursor, serving goroutine only
 	clock hw.Clock
 
+	// tr is the owning scan's trace; finish() appends the lane, merge, and
+	// install spans to it. Nil when tracing is off.
+	tr *obs.ScanTrace
+
 	// release unblocks injected lane stalls at teardown so no goroutine
 	// outlives the scan.
 	release chan struct{}
@@ -762,7 +843,7 @@ type sidePath struct {
 // column, or a fully busy worker pool (the stream always wins; the scan
 // fails open and the catalog simply isn't refreshed this time). Injected
 // drain-pool saturation exercises the same skip path as the real thing.
-func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta, inj *faults.Injector) *sidePath {
+func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta, inj *faults.Injector, tr *obs.ScanTrace) *sidePath {
 	if req.Column == "" {
 		return nil
 	}
@@ -787,6 +868,7 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 		clock:   s.cfg.Binner.Clock,
 		lanes:   make([]*sideLane, s.cfg.ShardLanes),
 		release: make(chan struct{}),
+		tr:      tr,
 	}
 	for i := range sp.lanes {
 		pre, err := core.RangeFor(meta.min, meta.max, 1)
@@ -805,7 +887,12 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 		if bcfg.Faults == nil {
 			bcfg.Faults = linj
 		}
+		// Live ECC/latency event sinks: these fire as faults are handled in
+		// any lane (including lanes later retired), where the folded
+		// ecc_corrected/bins_quarantined counters only see merged state.
+		bcfg.MemEvents = s.metrics.memEvents
 		sp.lanes[i] = &sideLane{
+			idx:    i,
 			parser: core.NewParser(meta.spec),
 			binner: core.NewBinner(bcfg, pre),
 			ch:     make(chan sideFrame, s.cfg.SideBufDepth),
@@ -886,10 +973,12 @@ func (sp *sidePath) retireLane(l *sideLane) {
 // FSM into the Binner, exactly as in stream.Tap but decoupled from the wire
 // by the lane channel.
 func (sp *sidePath) run(l *sideLane) {
+	l.wallStart.Store(time.Now().UnixNano())
 	defer func() {
 		if r := recover(); r != nil {
 			l.faulted = true
 		}
+		l.wallEnd.Store(time.Now().UnixNano())
 		close(l.done)
 	}()
 	var vals []int64
@@ -1000,6 +1089,14 @@ func (sp *sidePath) finish() sideResult {
 	sp.stop()
 	var res sideResult
 
+	// Retired lanes still get a trace span — marked, with their discarded
+	// hardware accounting zeroed — so /scans shows which shard died.
+	for _, l := range sp.lanes {
+		if l.dead {
+			sp.tr.AddSpan("lane", l.idx, l.wallStart.Load(), l.wallEnd.Load(), 0, true)
+		}
+	}
+
 	healthy := sp.lanes[:0:0]
 	for _, l := range sp.lanes {
 		if l.dead {
@@ -1031,7 +1128,14 @@ func (sp *sidePath) finish() sideResult {
 	for i, l := range healthy {
 		_, ls := l.binner.Finish()
 		laneCycles[i] = ls.Cycles
+		// Healthy lane span: wall clock from the lane goroutine's own
+		// stamps, hardware cost from the lane's binning completion cycle.
+		// The trace invariant max(lane HWCycles) + merge HWCycles ==
+		// AccelCycles follows from hw.CriticalPath below.
+		sp.tr.AddSpan("lane", l.idx, l.wallStart.Load(), l.wallEnd.Load(), ls.Cycles, false)
+		sp.s.metrics.setLaneCycles(l.idx, ls.Cycles)
 	}
+	mi := sp.tr.Begin("merge")
 	merged := healthy[0].binner
 	for _, l := range healthy[1:] {
 		if err := merged.Merge(l.binner); err != nil {
@@ -1044,6 +1148,8 @@ func (sp *sidePath) finish() sideResult {
 	}
 	sp.s.metrics.laneMerges.Add(int64(len(healthy) - 1))
 	vec, bstats := merged.Finish()
+	sp.s.metrics.faultsCorrected.Add(bstats.FaultsCorrected)
+	sp.s.metrics.binsQuarantined.Add(bstats.BinsQuarantined)
 	if bstats.Items == 0 {
 		res.degraded = true
 		return res
@@ -1068,6 +1174,9 @@ func (sp *sidePath) finish() sideResult {
 	bstats.Cycles = hw.CriticalPath(laneCycles, agg)
 	comp := core.NewCompressedBlock(sp.s.cfg.TopK, sp.s.cfg.Buckets, vec.Total())
 	chain := core.NewScanner().Run(vec, comp)
+	// The merge span is charged everything past the lanes' own binning: the
+	// fan-in aggregation pass plus the histogram chain.
+	sp.tr.End(mi, agg+chain.TotalCycles)
 	h := &hist.Histogram{
 		Kind:          hist.Compressed,
 		Buckets:       comp.Buckets(),
@@ -1077,11 +1186,13 @@ func (sp *sidePath) finish() sideResult {
 		Degraded:      degraded,
 		Skipped:       skipped,
 	}
+	ii := sp.tr.Begin("install")
 	sp.s.catalog.Put(sp.req.Table, sp.req.Column, &dbms.ColumnStats{
 		Histogram: h,
 		NDistinct: int64(vec.Cardinality()),
 		RowCount:  relRows,
 	})
+	sp.tr.End(ii, 0)
 	total := uint64(bstats.Cycles + chain.TotalCycles)
 	sp.s.metrics.rowsBinned.Add(bstats.Items)
 	sp.s.metrics.histRefreshed.Add(1)

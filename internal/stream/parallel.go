@@ -11,6 +11,7 @@ import (
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
 	"streamhist/internal/hw"
+	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/table"
 )
@@ -55,6 +56,11 @@ type ParallelDataPath struct {
 	// tests; it doubles the side-path work. Skipped when bin memory
 	// quarantined words (the drift is then expected and accounted).
 	SelfCheck bool
+	// Obs, when non-nil, receives per-scan instrumentation: scan and
+	// retirement counters, per-lane cycle and stall gauges, and a scan
+	// duration distribution. All updates happen once per Scan, after the
+	// fan-in — never on the per-page hot path.
+	Obs *obs.Registry
 }
 
 // DefaultStallTimeout is how long a lane may block the splitter or the
@@ -174,6 +180,7 @@ func (l *lane) retire() [][]*page.Page {
 // path, so the produced histograms are hist.Equal to DataPath.Scan's — even
 // when lanes are retired, because a retired lane's whole share is replayed.
 func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelScanResult, error) {
+	scanStart := time.Now()
 	shards := d.Shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
@@ -442,7 +449,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	arrival := d.Link.BytesPerSec / rowWidth
 	kept := mstats.ValuesPerSecond(clk) >= arrival || mstats.Items == 0
 
-	return &ParallelScanResult{
+	out := &ParallelScanResult{
 		ScanResult: ScanResult{
 			HostBytes:           hostBytes,
 			Results:             res,
@@ -456,7 +463,38 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		CriticalPathCycles: mstats.Cycles,
 		LanesRetired:       retiredCount,
 		ReplayedChunks:     replayed,
-	}, nil
+	}
+	d.instrument(out, time.Since(scanStart))
+	return out, nil
+}
+
+// instrument publishes one completed scan's accounting to the wired
+// registry: totals as counters, the last scan's per-lane cycle and stall
+// accounting as labelled gauges, and the wall-clock duration into the
+// scan-latency distribution. Runs once per Scan, entirely off the data path;
+// a nil registry makes every call here a no-op.
+func (d *ParallelDataPath) instrument(res *ParallelScanResult, wall time.Duration) {
+	reg := d.Obs
+	if reg == nil {
+		return
+	}
+	reg.Counter("streamhist_stream_scans_total",
+		"Completed ParallelDataPath scans.").Inc()
+	reg.Counter("streamhist_stream_host_bytes_total",
+		"Bytes relayed to the host across parallel scans.").Add(res.HostBytes)
+	reg.Counter("streamhist_stream_lanes_retired_total",
+		"Lanes removed by the supervisor (panic or stall) across parallel scans.").Add(int64(res.LanesRetired))
+	reg.Counter("streamhist_stream_replayed_chunks_total",
+		"Chunks reprocessed after a lane retirement across parallel scans.").Add(int64(res.ReplayedChunks))
+	for i, ls := range res.PerShard {
+		lane := obs.LabelValue(fmt.Sprint(i))
+		reg.Gauge(fmt.Sprintf("streamhist_stream_lane_cycles{lane=%q}", lane),
+			"Binning completion cycles per lane for the most recent parallel scan.").Set(ls.Cycles)
+		reg.Gauge(fmt.Sprintf("streamhist_stream_lane_stall_cycles{lane=%q}", lane),
+			"Cycles lost to read-after-write hazards per lane for the most recent parallel scan.").Set(ls.StallCycles)
+	}
+	reg.Distribution("streamhist_stream_scan_duration_seconds",
+		"Wall-clock duration of parallel scans.", 1e-9).Observe(wall.Nanoseconds())
 }
 
 // isInjectedFault reports whether a lane error came from the chaos harness
