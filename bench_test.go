@@ -17,6 +17,7 @@ import (
 	"streamhist/internal/dbms"
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
+	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/stream"
@@ -378,6 +379,41 @@ func BenchmarkParallelDataPathObs(b *testing.B) {
 				b.Fatal(err)
 			}
 			dp.Obs = mode.reg
+			b.ReportAllocs()
+			var res *stream.ParallelScanResult
+			for i := 0; i < b.N; i++ {
+				res, err = dp.Scan(io.Discard, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(res.HostBytes)
+		})
+	}
+}
+
+// BenchmarkParallelDataPathProf measures the hardware profiler's overhead on
+// the 4-shard parallel data path: "noop" runs with no profiler (every
+// attribution site degrades to one nil check per Push), "profiler" with a
+// live hwprof.Profiler receiving the per-lane cycle attribution. The hot
+// loop only accumulates six float64s per Push; node lookups and atomics
+// happen once per lane at flush, so the two ns/op figures should stay
+// within a few percent.
+func BenchmarkParallelDataPathProf(b *testing.B) {
+	rel := tpch.Lineitem(100_000, 10, 305)
+	for _, mode := range []struct {
+		name string
+		mk   func() *hwprof.Profiler
+	}{
+		{"noop", func() *hwprof.Profiler { return nil }},
+		{"profiler", hwprof.New},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dp, err := stream.NewParallelDataPath(rel, "l_quantity", stream.TenGbE, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dp.Prof = mode.mk()
 			b.ReportAllocs()
 			var res *stream.ParallelScanResult
 			for i := 0; i < b.N; i++ {

@@ -14,6 +14,15 @@
 //
 //	histcli metrics -addr localhost:7745 -scans 5
 //	histcli metrics -addr localhost:7745 -check    # fail on malformed lines
+//	histcli metrics -addr localhost:7745 -grep hwprof
+//
+// The `profile` subcommand fetches the simulated-hardware cycle profile a
+// running histserved accumulates (see internal/hwprof) and renders it, or
+// saves the pprof protobuf for `go tool pprof`:
+//
+//	histcli profile -addr localhost:7745 -top 20
+//	histcli profile -addr localhost:7745 -tree
+//	histcli profile -addr localhost:7745 -o hwprof.pb.gz
 package main
 
 import (
@@ -36,13 +45,20 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		if err := runProfile(os.Args[2:]); err != nil {
+			fatalf("profile: %v", err)
+		}
+		return
+	}
 	kind := flag.String("kind", "all", "histogram kind: equidepth, maxdiff, compressed, topk, all")
 	buckets := flag.Int("buckets", 16, "number of buckets (B)")
 	topk := flag.Int("topk", 8, "frequency-list length (T)")
 	divisor := flag.Int64("divisor", 1, "bin divisor (values per bin)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: histcli [flags] [file]")
-		fmt.Fprintln(os.Stderr, "       histcli metrics [-addr host:port] [-scans K] [-check]")
+		fmt.Fprintln(os.Stderr, "       histcli metrics [-addr host:port] [-scans K] [-check] [-grep pattern]")
+		fmt.Fprintln(os.Stderr, "       histcli profile [-addr host:port] [-seconds N] [-top N | -tree | -o file]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

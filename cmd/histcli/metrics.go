@@ -24,6 +24,7 @@ func runMetrics(args []string) error {
 	nScans := fs.Int("scans", 5, "how many recent scan traces to show (0 skips /scans)")
 	check := fs.Bool("check", false, "validate the exposition format and fail on malformed lines")
 	raw := fs.Bool("raw", false, "print the exposition verbatim instead of the pretty form")
+	grep := fs.String("grep", "", "only show metrics whose name (labels included) contains this substring")
 	fs.Parse(args)
 
 	hc := &http.Client{Timeout: 10 * time.Second}
@@ -43,9 +44,13 @@ func runMetrics(args []string) error {
 		fmt.Println("exposition: OK")
 	}
 	if *raw {
-		fmt.Print(string(body))
+		for _, line := range strings.SplitAfter(string(body), "\n") {
+			if *grep == "" || strings.Contains(line, *grep) {
+				fmt.Print(line)
+			}
+		}
 	} else {
-		printExposition(string(body))
+		printExposition(string(body), *grep)
 	}
 
 	if *nScans > 0 {
@@ -80,14 +85,18 @@ func httpGet(hc *http.Client, u string) ([]byte, error) {
 
 // printExposition renders the samples of a Prometheus text document aligned
 // in two columns, dropping the HELP/TYPE scaffolding a human reading a
-// terminal does not need.
-func printExposition(text string) {
+// terminal does not need. A non-empty grep keeps only samples whose full
+// name (labels included) contains the substring.
+func printExposition(text, grep string) {
 	type sample struct{ name, value string }
 	var samples []sample
 	width := 0
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if grep != "" && !strings.Contains(line, grep) {
 			continue
 		}
 		// name[{labels}] value [timestamp] — split at the last space run.

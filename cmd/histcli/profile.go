@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"streamhist/internal/hwprof"
+)
+
+// runProfile is the `histcli profile` subcommand: it fetches a running
+// histserved's simulated-hardware cycle profile from /debug/hwprof and
+// renders it with the built-in flat (-top) or tree (-tree) views, or saves
+// the raw pprof protobuf (-o) for `go tool pprof` and flamegraph tooling.
+// The renderers consume the endpoint's text form, so the CLI needs no
+// protobuf decoder; -o fetches the binary form verbatim.
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:7745", "server introspection address (histserved -metrics-addr)")
+	seconds := fs.Int("seconds", 0, "delta window in seconds (0 means the cumulative profile)")
+	top := fs.Int("top", 0, "show the N heaviest nodes as a flat table (0 with no other mode shows all)")
+	tree := fs.Bool("tree", false, "render the profile as an indented stack tree with subtree sums")
+	out := fs.String("o", "", "write the raw pprof protobuf (gzip) to this file instead of rendering")
+	fs.Parse(args)
+
+	hc := &http.Client{Timeout: time.Duration(*seconds+30) * time.Second}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	q := url.Values{}
+	if *seconds > 0 {
+		q.Set("seconds", fmt.Sprint(*seconds))
+	}
+
+	if *out != "" {
+		u := base + "/debug/hwprof"
+		if len(q) > 0 {
+			u += "?" + q.Encode()
+		}
+		body, err := httpGet(hc, u)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes to %s (inspect with: go tool pprof -top %s)\n", len(body), *out, *out)
+		return nil
+	}
+
+	q.Set("format", "text")
+	body, err := httpGet(hc, base+"/debug/hwprof?"+q.Encode())
+	if err != nil {
+		return err
+	}
+	prof, err := hwprof.ParseText(body)
+	if err != nil {
+		return err
+	}
+	if *tree {
+		return prof.WriteTree(os.Stdout)
+	}
+	return prof.WriteTop(os.Stdout, *top)
+}

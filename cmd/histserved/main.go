@@ -61,14 +61,18 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  histserved serve  [-addr :7744] [-rows N] [-seed S] [-chaos profile] [-chaos-seed S]
-                    [-metrics-addr host:port]
+  histserved serve  [-addr :7744] [-rows N] [-seed S] [-lanes N]
+                    [-chaos profile] [-chaos-seed S] [-metrics-addr host:port]
   histserved tables [-addr host:port]                   list served tables
   histserved scan   [-addr host:port] [-o file] <table> <column>
   histserved stats  [-addr host:port] <table> <column>
 
 -metrics-addr exposes live introspection over HTTP: /metrics (Prometheus
-text), /scans (recent scan traces as JSON), /healthz, /debug/pprof/*.
+text), /scans (recent scan traces as JSON), /healthz, /debug/hwprof
+(simulated-hardware cycle profile in pprof format), /debug/pprof/*.
+
+-lanes fixes the side-path fan-out (parallel Parser+Binner lanes per scan);
+with -lanes 1 the profile total equals the accel-cycles counter exactly.
 
 chaos profiles (deterministic fault injection; for testing the fail-open
 posture — never enable in production): corruption-heavy, lane-failure-heavy,
@@ -81,6 +85,7 @@ func runServe(args []string) error {
 	rows := fs.Int("rows", 200_000, "rows per demo table")
 	seed := fs.Uint64("seed", 42, "data generator seed")
 	workers := fs.Int("workers", 0, "drain worker pool size (0 = default)")
+	lanes := fs.Int("lanes", 0, "side-path shard lanes per scan (0 = GOMAXPROCS)")
 	chaos := fs.String("chaos", "", "fault-injection profile (corruption-heavy, lane-failure-heavy, network-flaky)")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP introspection address (/metrics, /scans, /healthz, /debug/pprof); empty disables")
@@ -90,7 +95,7 @@ func runServe(args []string) error {
 	o := obs.New()
 	o.Log = log
 
-	cfg := server.Config{DrainWorkers: *workers, Obs: o}
+	cfg := server.Config{DrainWorkers: *workers, ShardLanes: *lanes, Obs: o}
 	if *chaos != "" {
 		profile, err := faults.ByName(*chaos)
 		if err != nil {
@@ -125,7 +130,7 @@ func runServe(args []string) error {
 		defer msrv.Close()
 		log.Info("introspection endpoints up",
 			"addr", mln.Addr().String(),
-			"endpoints", "/metrics /scans /healthz /debug/pprof/")
+			"endpoints", "/metrics /scans /healthz /debug/hwprof /debug/pprof/")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -33,6 +33,7 @@ func All() []Runner {
 		{"ablation-memory", "ablation: faster memory moves the bottleneck (§7)", AblationMemory},
 		{"datapath", "data-path integrity, latency and keep-up (§4)", DataPathReport},
 		{"parallel", "sharded data path: lanes, merge cost, speedup (§7)", ParallelPath},
+		{"hwprof", "cycle attribution profile of one sharded scan", HWProf},
 		{"freshness", "catalog freshness: nightly vs autostats vs accelerator (§1)", Freshness},
 		{"piggyback", "piggyback method vs accelerator (§2 related work)", Piggyback},
 		{"access", "access-path choice under stale vs fresh statistics (§1)", Access},

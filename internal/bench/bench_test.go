@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3to6", "fig7", "table1", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "table2", "fig22", "accuracy", "variety",
 		"ablation-cache", "ablation-scaleup", "ablation-regions", "ablation-divisor",
-		"ablation-memory", "datapath", "parallel", "freshness", "piggyback", "access"}
+		"ablation-memory", "datapath", "parallel", "hwprof", "freshness", "piggyback", "access"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d runners, want %d", len(all), len(want))

@@ -4,6 +4,7 @@ import (
 	"streamhist/internal/bins"
 	"streamhist/internal/faults"
 	"streamhist/internal/hw"
+	"streamhist/internal/hwprof"
 )
 
 // BinnerConfig parameterises the Binner module simulation.
@@ -29,6 +30,16 @@ type BinnerConfig struct {
 	// the fault-injected memory model as they happen (in addition to the
 	// cumulative BinnerStats accounting). Ignored when Faults is nil.
 	MemEvents hw.MemEvents
+	// Prof, when non-nil, attributes every advance of this binner's
+	// completion cycle to hardware-profile nodes (lane → module → stage →
+	// reason; see internal/hwprof). Per-item attribution accumulates in
+	// plain local floats and is flushed to the shared profiler once, at
+	// Finish/Merge time, so the profiled hot path stays branch-cheap and the
+	// nil-Prof path is the untouched baseline.
+	Prof *hwprof.Profiler
+	// ProfLane is the outermost profile frame for this binner's cycles
+	// (e.g. "lane3"); empty means "lane0". Ignored when Prof is nil.
+	ProfLane string
 }
 
 // DefaultBinnerConfig returns the paper's prototype parameters.
@@ -147,6 +158,10 @@ type Binner struct {
 	// merged accumulates the state folded in from other lanes via Merge;
 	// Finish combines it with this lane's own accounting.
 	merged BinnerStats
+
+	// prof accumulates this lane's cycle attribution; nil when profiling is
+	// off (the zero-cost baseline).
+	prof *binnerProf
 }
 
 // NewBinner wires a Binner for the given preprocessor. The returned
@@ -167,7 +182,7 @@ func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
 		mem = hw.NewMemory(int(pre.NumBins), cfg.Faults)
 		mem.SetEvents(cfg.MemEvents)
 	}
-	return &Binner{
+	b := &Binner{
 		cfg:               cfg,
 		pre:               pre,
 		cache:             hw.NewCache(cfg.CacheBytes, hw.LineBytes),
@@ -178,6 +193,14 @@ func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
 		burstPeriod:       float64(cfg.Clock.Hz) / float64(cfg.Mem.BurstOpsPerSec),
 		latency:           float64(cfg.Mem.LatencyCycles),
 	}
+	if cfg.Prof != nil {
+		lane := cfg.ProfLane
+		if lane == "" {
+			lane = "lane0"
+		}
+		b.prof = &binnerProf{p: cfg.Prof, lane: lane}
+	}
+	return b
 }
 
 // Push streams one value through the pipeline.
@@ -189,6 +212,16 @@ func (b *Binner) Push(value int64) {
 	}
 	b.stats.Items++
 
+	// Profiled runs keep a few pre-advance values around so the item's
+	// contribution to the completion cycle can be decomposed by cause; the
+	// nil-prof path pays one pointer test.
+	prof := b.prof
+	var prevCommit, opBefore, bpJump, rawStall float64
+	if prof != nil {
+		prevCommit = b.lastCommit
+		opBefore = b.opTime
+	}
+
 	// A new item enters the pipeline no faster than the issue rate allows,
 	// and no earlier than backpressure from the bounded FIFO in front of
 	// the memory port permits (the queue between READ and UPDATE of
@@ -196,6 +229,9 @@ func (b *Binner) Push(value int64) {
 	const maxBacklogCycles = 512
 	b.pipeTime += b.cfg.PipelineCyclesPerItem
 	if b.opTime-b.pipeTime > maxBacklogCycles {
+		if prof != nil {
+			bpJump = (b.opTime - maxBacklogCycles) - b.pipeTime
+		}
 		b.pipeTime = b.opTime - maxBacklogCycles
 	}
 
@@ -214,6 +250,9 @@ func (b *Binner) Push(value int64) {
 		// the same line must stall the pipeline until that write commits
 		// (§5.1.3).
 		if commit, busy := b.pendingLineCommit[line]; busy && commit > readIssue {
+			if prof != nil {
+				rawStall = commit - readIssue
+			}
 			b.stats.StallCycles += int64(commit - readIssue)
 			b.pipeTime = commit
 			readIssue = commit
@@ -250,6 +289,11 @@ func (b *Binner) Push(value int64) {
 		b.lastCommit = commit
 	}
 	b.cache.Insert(line)
+
+	if prof != nil {
+		prof.attribute(b.lastCommit-prevCommit, b.cfg.PipelineCyclesPerItem,
+			bpJump, rawStall, b.opTime-opBefore, spike)
+	}
 
 	// Retire pending-commit entries lazily so the map stays small.
 	if len(b.pendingLineCommit) > 4*b.cache.Lines()+1024 {
@@ -306,6 +350,9 @@ func (b *Binner) snapshotStats() BinnerStats {
 	s.Cycles = int64(b.lastCommit + 0.5)
 	s.CacheHits = b.cache.Hits()
 	s.CacheMisses = b.cache.Misses()
+	// Publish this lane's cycle attribution (own work only — merged lanes
+	// flushed themselves when Merge snapshotted them); idempotent.
+	b.flushProf(s)
 	return s.Merge(b.merged)
 }
 

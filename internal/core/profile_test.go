@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"streamhist/internal/faults"
+	"streamhist/internal/hwprof"
+)
+
+// pushSkewed streams a deterministic, moderately skewed workload: enough
+// distinct addresses to miss the cache, enough repetition to hit it and to
+// provoke read-after-write hazards when the cache is off.
+func pushSkewed(b *Binner, n int) {
+	for i := 0; i < n; i++ {
+		v := int64(i % 977)
+		if i%3 == 0 {
+			v = int64(i % 7) // hot values: cache hits / RAW hazards
+		}
+		b.Push(v)
+	}
+}
+
+// TestProfileSumsToOwnCycles is the core attribution invariant: the profile
+// nodes a lane flushes sum exactly — not approximately — to the lane's own
+// completion cycles, for cached, uncached, and fault-injected runs.
+func TestProfileSumsToOwnCycles(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*BinnerConfig)
+	}{
+		{"cached", func(cfg *BinnerConfig) {}},
+		{"no-cache-raw-stalls", func(cfg *BinnerConfig) { cfg.CacheBytes = 0 }},
+		{"fault-injected", func(cfg *BinnerConfig) {
+			cfg.Faults = faults.New(7, faults.Profile{
+				faults.MemReadFlip:     0.01,
+				faults.MemWriteFlip:    0.01,
+				faults.MemLatencySpike: 0.05,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := hwprof.New()
+			cfg := DefaultBinnerConfig()
+			tc.mut(&cfg)
+			cfg.Prof = p
+			cfg.ProfLane = "laneX"
+			pre, err := RangeFor(0, 1000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := NewBinner(cfg, pre)
+			pushSkewed(b, 50_000)
+			_, stats := b.Finish()
+			if stats.Cycles == 0 {
+				t.Fatal("workload produced zero cycles")
+			}
+			prof := p.Snapshot()
+			if got := prof.TotalCycles(); got != stats.Cycles {
+				t.Fatalf("profile total %d != BinnerStats.Cycles %d", got, stats.Cycles)
+			}
+			if got := prof.SubtreeCycles("laneX"); got != stats.Cycles {
+				t.Fatalf("lane subtree %d != BinnerStats.Cycles %d", got, stats.Cycles)
+			}
+			// Finish again: the flush must be idempotent.
+			_, again := b.Finish()
+			if again.Cycles != stats.Cycles {
+				t.Fatalf("second Finish changed cycles: %d != %d", again.Cycles, stats.Cycles)
+			}
+			if got := p.Snapshot().TotalCycles(); got != stats.Cycles {
+				t.Fatalf("second Finish double-flushed: profile total %d != %d", got, stats.Cycles)
+			}
+		})
+	}
+}
+
+// TestProfileFaultAttribution checks that injected faults are attributed,
+// not lost: latency spikes show up under mem/update/spike (cycles and
+// firings), ECC corrections and quarantines as event nodes — and the exact
+// cycle-sum invariant still holds with all of it included.
+func TestProfileFaultAttribution(t *testing.T) {
+	p := hwprof.New()
+	cfg := DefaultBinnerConfig()
+	cfg.Faults = faults.New(3, faults.Profile{
+		faults.MemReadFlip:     0.01,
+		faults.MemWriteFlip:    0.05,
+		faults.MemLatencySpike: 0.05,
+	})
+	cfg.Prof = p
+	cfg.ProfLane = "lane0"
+	pre, err := RangeFor(0, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBinner(cfg, pre)
+	pushSkewed(b, 50_000)
+	_, stats := b.Finish()
+	prof := p.Snapshot()
+
+	if got := prof.TotalCycles(); got != stats.Cycles {
+		t.Fatalf("profile total %d != Cycles %d under fault injection", got, stats.Cycles)
+	}
+	var spike, ecc, quarantine hwprof.Sample
+	for _, s := range prof.Samples {
+		switch fmt.Sprint(s.Stack) {
+		case fmt.Sprint([]string{"lane0", "mem", "update", hwprof.ReasonSpike}):
+			spike = s
+		case fmt.Sprint([]string{"lane0", "mem", "update", hwprof.ReasonECC}):
+			ecc = s
+		case fmt.Sprint([]string{"lane0", "mem", "update", "quarantine"}):
+			quarantine = s
+		}
+	}
+	if spike.Cycles == 0 || spike.Events == 0 {
+		t.Fatalf("latency spikes not attributed: %+v", spike)
+	}
+	if stats.FaultsCorrected > 0 && ecc.Events != stats.FaultsCorrected {
+		t.Fatalf("ECC events %d != FaultsCorrected %d", ecc.Events, stats.FaultsCorrected)
+	}
+	if stats.BinsQuarantined > 0 && quarantine.Events != stats.BinsQuarantined {
+		t.Fatalf("quarantine events %d != BinsQuarantined %d", quarantine.Events, stats.BinsQuarantined)
+	}
+}
+
+// TestProfileMergeFlushesOnce: merging lanes must flush each lane exactly
+// once, with the combined profile summing to the sum of the lanes' own
+// cycles (work adds; only the completion time takes the max).
+func TestProfileMergeFlushesOnce(t *testing.T) {
+	p := hwprof.New()
+	pre := func() *Preprocessor {
+		pr, err := RangeFor(0, 1000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	var own []int64
+	mk := func(lane string, n int) *Binner {
+		cfg := DefaultBinnerConfig()
+		cfg.Prof = p
+		cfg.ProfLane = lane
+		b := NewBinner(cfg, pre())
+		pushSkewed(b, n)
+		return b
+	}
+	a := mk("lane0", 30_000)
+	c := mk("lane1", 20_000)
+	_, sa := a.Finish()
+	_, sc := c.Finish()
+	own = append(own, sa.Cycles, sc.Cycles)
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	_, merged := a.Finish()
+	if want := maxi(own[0], own[1]); merged.Cycles != want {
+		t.Fatalf("merged Cycles %d != max lane %d", merged.Cycles, want)
+	}
+	prof := p.Snapshot()
+	if got, want := prof.TotalCycles(), own[0]+own[1]; got != want {
+		t.Fatalf("profile total %d != sum of lane cycles %d", got, want)
+	}
+	if got := prof.SubtreeCycles("lane0"); got != own[0] {
+		t.Fatalf("lane0 subtree %d != %d", got, own[0])
+	}
+	if got := prof.SubtreeCycles("lane1"); got != own[1] {
+		t.Fatalf("lane1 subtree %d != %d", got, own[1])
+	}
+}
+
+// TestChainChargeProfile re-derives the Table 2 latency formulas from the
+// profile: the chain's three nodes (memory scan-out, daisy pass-through,
+// block processing) must sum exactly to TotalCycles, with the scan node
+// equal to ScanCyclesPerBin·Δ per pass of the critical block.
+func TestChainChargeProfile(t *testing.T) {
+	pre, err := RangeFor(0, 9999, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBinner(DefaultBinnerConfig(), pre)
+	for i := 0; i < 40_000; i++ {
+		b.Push(int64(i % 10_000))
+	}
+	vec, _ := b.Finish()
+
+	blocks := []Block{
+		NewTopKBlock(32),
+		NewEquiDepthBlock(16, vec.Total()),
+		NewMaxDiffBlock(16),
+		NewCompressedBlock(16, 16, vec.Total()),
+	}
+	res := NewScanner().Run(vec, blocks...)
+
+	p := hwprof.New()
+	res.ChargeProfile(p, "merged")
+	prof := p.Snapshot()
+	if got := prof.TotalCycles(); got != res.TotalCycles {
+		t.Fatalf("chain profile total %d != ChainResult.TotalCycles %d", got, res.TotalCycles)
+	}
+	if got := prof.SubtreeCycles("merged", "chain"); got != res.TotalCycles {
+		t.Fatalf("chain subtree %d != %d", got, res.TotalCycles)
+	}
+	// The critical block is the slowest completion; its scan-out share is
+	// ScanCyclesPerBin·Δ per pass (Table 2's 2Δ terms at the default rate).
+	crit := res.Timings[0]
+	for _, tm := range res.Timings {
+		if tm.CompletionCycles > crit.CompletionCycles {
+			crit = tm
+		}
+	}
+	wantScan := res.ScanCyclesPerBin * res.Delta * int64(crit.Scans)
+	if got := prof.SubtreeCycles("merged", "chain", "scan"); got != wantScan {
+		t.Fatalf("scan node %d != ScanCyclesPerBin*Delta*Scans = %d", got, wantScan)
+	}
+	wantDaisy := int64(crit.Position) * res.BlockPassCycles
+	if got := prof.SubtreeCycles("merged", "chain", "daisy"); got != wantDaisy {
+		t.Fatalf("daisy node %d != Position*BlockPassCycles = %d", got, wantDaisy)
+	}
+	if got := prof.SubtreeCycles("merged", "chain", crit.Name); got != res.TotalCycles-wantScan-wantDaisy {
+		t.Fatalf("block node %d != remainder %d", got, res.TotalCycles-wantScan-wantDaisy)
+	}
+}
+
+// TestProfileNilIsFree: with no profiler wired, the binner must behave and
+// account identically to a profiled run — attribution must never perturb
+// the simulation itself.
+func TestProfileNilIsFree(t *testing.T) {
+	run := func(p *hwprof.Profiler) BinnerStats {
+		cfg := DefaultBinnerConfig()
+		cfg.Prof = p
+		pre, err := RangeFor(0, 1000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBinner(cfg, pre)
+		pushSkewed(b, 40_000)
+		_, s := b.Finish()
+		return s
+	}
+	bare := run(nil)
+	profiled := run(hwprof.New())
+	if bare != profiled {
+		t.Fatalf("profiling changed the simulation: %+v != %+v", bare, profiled)
+	}
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

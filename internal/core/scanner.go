@@ -53,6 +53,11 @@ type ChainResult struct {
 	Timings []ChainTiming
 	// TotalCycles is when the last block finished.
 	TotalCycles int64
+	// ScanCyclesPerBin and BlockPassCycles echo the scanner parameters the
+	// run used, so the result can be decomposed after the fact (see
+	// ChargeProfile).
+	ScanCyclesPerBin int64
+	BlockPassCycles  int64
 }
 
 // Seconds converts total completion to seconds at the given clock.
@@ -98,7 +103,11 @@ func (s *Scanner) Run(vec *bins.Vector, blocks ...Block) ChainResult {
 
 // account computes the Table 2 cycle model for each block.
 func (s *Scanner) account(delta int64, scans int, blocks []Block) ChainResult {
-	res := ChainResult{Delta: delta, Scans: scans}
+	res := ChainResult{
+		Delta: delta, Scans: scans,
+		ScanCyclesPerBin: s.ScanCyclesPerBin,
+		BlockPassCycles:  s.BlockPassCycles,
+	}
 	scanCost := s.ScanCyclesPerBin * delta
 	for pos, b := range blocks {
 		pass := int64(pos) * s.BlockPassCycles

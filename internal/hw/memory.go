@@ -18,6 +18,7 @@ type Memory struct {
 
 	corrected   int64
 	quarantined int64
+	spikes      int64
 	spikeCycles int64
 
 	events MemEvents
@@ -81,6 +82,7 @@ func (m *Memory) Increment(addr int64) (spike int64) {
 	if m.inj.Should(faults.MemLatencySpike) {
 		// A spike stretches the access by 1–10× the nominal latency.
 		spike = DefaultMemLatencyCycles * (1 + m.inj.Intn(faults.MemLatencySpike, 10))
+		m.spikes++
 		m.spikeCycles += spike
 		if m.events.SpikeCycles != nil {
 			m.events.SpikeCycles.Add(spike)
@@ -137,6 +139,9 @@ func (m *Memory) Corrected() int64 { return m.corrected }
 
 // Quarantined returns how many words were lost to uncorrectable upsets.
 func (m *Memory) Quarantined() int64 { return m.quarantined }
+
+// Spikes returns how many latency spikes fired.
+func (m *Memory) Spikes() int64 { return m.spikes }
 
 // SpikeCycles returns the total injected extra access latency.
 func (m *Memory) SpikeCycles() int64 { return m.spikeCycles }

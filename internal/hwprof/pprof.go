@@ -1,0 +1,219 @@
+package hwprof
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// WritePprof serializes the profile in the pprof protobuf wire format,
+// gzip-compressed, exactly as `go tool pprof` and flamegraph tooling expect
+// on the wire. The encoder is hand-rolled over the stable profile.proto
+// field numbers — stdlib only, no generated code.
+//
+// Two sample values are emitted per stack: [events/count, cycles/count],
+// with "cycles" as the default sample type, so `pprof -top` shows simulated
+// cycles and `-sample_index=events` switches to occurrence counts.
+func (p *Profile) WritePprof(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.marshalProto()); err != nil {
+		return fmt.Errorf("hwprof: pprof encode: %w", err)
+	}
+	return gz.Close()
+}
+
+// profile.proto field numbers (the pprof wire format is stable; see
+// github.com/google/pprof/proto/profile.proto).
+const (
+	profSampleType  = 1 // repeated ValueType
+	profSample      = 2 // repeated Sample
+	profMapping     = 3 // repeated Mapping
+	profLocation    = 4 // repeated Location
+	profFunction    = 5 // repeated Function
+	profStringTable = 6 // repeated string
+	profTimeNanos   = 9
+	profDuration    = 10
+	profPeriodType  = 11 // ValueType
+	profPeriod      = 12
+	profComment     = 13 // repeated int64 (string index)
+	profDefaultType = 14 // int64 (string index)
+
+	vtType = 1 // ValueType.type (string index)
+	vtUnit = 2 // ValueType.unit (string index)
+
+	smLocationID = 1 // Sample.location_id, repeated uint64, leaf first
+	smValue      = 2 // Sample.value, repeated int64
+
+	locID        = 1
+	locMappingID = 2
+	locLine      = 4 // repeated Line
+
+	lineFunctionID = 1
+
+	fnID         = 1
+	fnName       = 2 // string index
+	fnSystemName = 3
+	fnFilename   = 4
+
+	mapID           = 1
+	mapFilename     = 5 // string index
+	mapHasFunctions = 7 // bool: line info is already present, no symbolization needed
+)
+
+// marshalProto builds the uncompressed Profile message.
+func (p *Profile) marshalProto() []byte {
+	// String table: index 0 must be "".
+	strIdx := map[string]int64{"": 0}
+	strTab := []string{""}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strTab))
+		strIdx[s] = i
+		strTab = append(strTab, s)
+		return i
+	}
+
+	// One Function+Location per distinct frame name. Location IDs start at 1.
+	funcID := map[string]uint64{}
+	var funcOrder []string
+	locFor := func(frame string) uint64 {
+		if id, ok := funcID[frame]; ok {
+			return id
+		}
+		id := uint64(len(funcOrder) + 1)
+		funcID[frame] = id
+		funcOrder = append(funcOrder, frame)
+		return id
+	}
+
+	var samples [][]byte
+	for _, s := range p.Samples {
+		var sm pbuf
+		// Locations are leaf-first in pprof; our stacks are outermost-first.
+		locs := make([]uint64, 0, len(s.Stack))
+		for i := len(s.Stack) - 1; i >= 0; i-- {
+			locs = append(locs, locFor(s.Stack[i]))
+		}
+		sm.packedUints(smLocationID, locs)
+		sm.packedInts(smValue, []int64{s.Events, s.Cycles})
+		samples = append(samples, sm.b)
+	}
+
+	eventsIdx, cyclesIdx, countIdx := intern("events"), intern("cycles"), intern("count")
+	fileIdx := intern("streamhist/simulated-accelerator")
+	commentIdx := intern("streamhist hwprof: simulated accelerator cycle attribution (lane/module/stage/reason)")
+
+	var out pbuf
+	out.msg(profSampleType, valueType(eventsIdx, countIdx))
+	out.msg(profSampleType, valueType(cyclesIdx, countIdx))
+	for _, sm := range samples {
+		out.msg(profSample, sm)
+	}
+
+	var mp pbuf
+	mp.uint(mapID, 1)
+	mp.int(mapFilename, fileIdx)
+	mp.uint(mapHasFunctions, 1)
+	out.msg(profMapping, mp.b)
+
+	for i, frame := range funcOrder {
+		id := uint64(i + 1)
+		nameIdx := intern(frame)
+
+		var ln pbuf
+		ln.uint(lineFunctionID, id)
+		var loc pbuf
+		loc.uint(locID, id)
+		loc.uint(locMappingID, 1)
+		loc.msg(locLine, ln.b)
+		out.msg(profLocation, loc.b)
+
+		var fn pbuf
+		fn.uint(fnID, id)
+		fn.int(fnName, nameIdx)
+		fn.int(fnSystemName, nameIdx)
+		fn.int(fnFilename, fileIdx)
+		out.msg(profFunction, fn.b)
+	}
+
+	for _, s := range strTab {
+		out.str(profStringTable, s)
+	}
+	out.int(profTimeNanos, p.TimeNanos)
+	out.int(profDuration, p.DurationNanos)
+	out.msg(profPeriodType, valueType(cyclesIdx, countIdx))
+	out.int(profPeriod, 1)
+	out.int(profComment, commentIdx)
+	out.int(profDefaultType, cyclesIdx)
+	return out.b
+}
+
+func valueType(typIdx, unitIdx int64) []byte {
+	var vt pbuf
+	vt.int(vtType, typIdx)
+	vt.int(vtUnit, unitIdx)
+	return vt.b
+}
+
+// pbuf is a minimal protobuf writer: varints, length-delimited fields, and
+// packed repeated numerics — everything profile.proto needs.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// int writes a non-negative int64 varint field; zero is omitted per proto3.
+func (p *pbuf) int(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *pbuf) uint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) bytes(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// msg writes an embedded message field (always, even when empty — an empty
+// mapping entry is still an entry).
+func (p *pbuf) msg(field int, b []byte) { p.bytes(field, b) }
+
+// str writes a string field; the empty string is written too, because the
+// string table's mandatory index 0 is "".
+func (p *pbuf) str(field int, s string) { p.bytes(field, []byte(s)) }
+
+func (p *pbuf) packedInts(field int, vs []int64) {
+	var body pbuf
+	for _, v := range vs {
+		body.varint(uint64(v))
+	}
+	p.bytes(field, body.b)
+}
+
+func (p *pbuf) packedUints(field int, vs []uint64) {
+	var body pbuf
+	for _, v := range vs {
+		body.varint(v)
+	}
+	p.bytes(field, body.b)
+}

@@ -1,0 +1,191 @@
+package hwprof
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// textHeader opens the line-oriented serialization; the version guards the
+// parser against future shape changes.
+const textHeader = "# hwprof/1"
+
+// MarshalText renders the profile in a line-oriented form that survives a
+// round trip through ParseText:
+//
+//	# hwprof/1 time_nanos=... duration_nanos=...
+//	<cycles> <events> lane0;binner;read;mem-wait
+//
+// It is the transport behind `histcli profile`'s renderers, so the CLI
+// needs no protobuf decoder.
+func (p *Profile) MarshalText() ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s time_nanos=%d duration_nanos=%d\n", textHeader, p.TimeNanos, p.DurationNanos)
+	for _, s := range p.Samples {
+		fmt.Fprintf(&b, "%d %d %s\n", s.Cycles, s.Events, strings.Join(s.Stack, frameSep))
+	}
+	return b.Bytes(), nil
+}
+
+// ParseText decodes a MarshalText document.
+func ParseText(data []byte) (*Profile, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("hwprof: empty text profile")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, textHeader) {
+		return nil, fmt.Errorf("hwprof: not a text profile (header %q)", firstLine(header))
+	}
+	p := &Profile{}
+	for _, kv := range strings.Fields(header)[2:] {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			continue
+		}
+		v, err := strconv.ParseInt(kv[eq+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("hwprof: header field %q: %w", kv, err)
+		}
+		switch kv[:eq] {
+		case "time_nanos":
+			p.TimeNanos = v
+		case "duration_nanos":
+			p.DurationNanos = v
+		}
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("hwprof: malformed sample line %q", line)
+		}
+		cycles, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("hwprof: sample cycles in %q: %w", line, err)
+		}
+		events, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("hwprof: sample events in %q: %w", line, err)
+		}
+		p.Samples = append(p.Samples, Sample{
+			Stack:  strings.Split(parts[2], frameSep),
+			Cycles: cycles,
+			Events: events,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	p.sort()
+	return p, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	if len(s) > 80 {
+		return s[:80]
+	}
+	return s
+}
+
+// WriteTop renders the n heaviest nodes as a flat table — the profiler's
+// own `pprof -top` — with each node's share of the total and the event
+// count alongside.
+func (p *Profile) WriteTop(w io.Writer, n int) error {
+	total := p.TotalCycles()
+	fmt.Fprintf(w, "total: %d simulated cycles across %d nodes\n", total, len(p.Samples))
+	if n <= 0 || n > len(p.Samples) {
+		n = len(p.Samples)
+	}
+	if n == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "%12s %7s %12s  %s\n", "cycles", "share", "events", "lane;module;stage;reason")
+	for _, s := range p.Samples[:n] {
+		share := "-"
+		if total > 0 && s.Cycles > 0 {
+			share = fmt.Sprintf("%.2f%%", 100*float64(s.Cycles)/float64(total))
+		}
+		fmt.Fprintf(w, "%12d %7s %12d  %s\n", s.Cycles, share, s.Events, strings.Join(s.Stack, frameSep))
+	}
+	if n < len(p.Samples) {
+		fmt.Fprintf(w, "... %d more nodes\n", len(p.Samples)-n)
+	}
+	return nil
+}
+
+// treeNode is one frame of the aggregated prefix tree WriteTree renders.
+type treeNode struct {
+	name     string
+	cycles   int64 // subtree sum
+	events   int64
+	children map[string]*treeNode
+	order    []string
+}
+
+func (t *treeNode) child(name string) *treeNode {
+	if t.children == nil {
+		t.children = make(map[string]*treeNode)
+	}
+	c, ok := t.children[name]
+	if !ok {
+		c = &treeNode{name: name}
+		t.children[name] = c
+		t.order = append(t.order, name)
+	}
+	return c
+}
+
+// WriteTree renders the profile as an indented stack tree with subtree
+// cycle sums — the flamegraph, in text.
+func (p *Profile) WriteTree(w io.Writer) error {
+	root := &treeNode{}
+	for _, s := range p.Samples {
+		root.cycles += s.Cycles
+		root.events += s.Events
+		t := root
+		for _, f := range s.Stack {
+			t = t.child(f)
+			t.cycles += s.Cycles
+			t.events += s.Events
+		}
+	}
+	fmt.Fprintf(w, "total: %d simulated cycles\n", root.cycles)
+	var walk func(t *treeNode, depth int)
+	walk = func(t *treeNode, depth int) {
+		names := append([]string(nil), t.order...)
+		sort.SliceStable(names, func(i, j int) bool {
+			a, b := t.children[names[i]], t.children[names[j]]
+			if a.cycles != b.cycles {
+				return a.cycles > b.cycles
+			}
+			return a.name < b.name
+		})
+		for _, name := range names {
+			c := t.children[name]
+			share := ""
+			if root.cycles > 0 && c.cycles > 0 {
+				share = fmt.Sprintf(" (%.1f%%)", 100*float64(c.cycles)/float64(root.cycles))
+			}
+			ev := ""
+			if c.events > 0 {
+				ev = fmt.Sprintf(", %d events", c.events)
+			}
+			fmt.Fprintf(w, "%s%-*s %d cycles%s%s\n", strings.Repeat("  ", depth+1), 24-2*depth, c.name, c.cycles, share, ev)
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return nil
+}

@@ -89,6 +89,35 @@ func TestDistributionNegativeClampsAndEmpty(t *testing.T) {
 	}
 }
 
+// TestDistributionSingleSample: one observation is the smallest population a
+// scrape can see mid-flight. Every quantile must come back finite — the
+// observed value up to bin quantisation, never 0-by-accident, NaN, or a
+// panic — and count/sum must reflect the one sample.
+func TestDistributionSingleSample(t *testing.T) {
+	d := newDistribution("one", 1)
+	const v = 1000
+	d.Observe(v)
+	if d.Count() != 1 || d.Sum() != v {
+		t.Fatalf("count=%d sum=%d, want 1/%d", d.Count(), d.Sum(), v)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		got := d.Quantile(q)
+		if got <= 0 || got > v {
+			t.Fatalf("Quantile(%.2f) = %d with one sample of %d", q, got, v)
+		}
+		// Log-linear bins quantise at 6.25%: the answer is the sample's bin.
+		if float64(v-got)/v > 0.0625 {
+			t.Fatalf("Quantile(%.2f) = %d, more than one bin below the sample %d", q, got, v)
+		}
+	}
+	// Out-of-range q must degrade to a harmless value, not panic.
+	for _, q := range []float64{-0.5, 1.5} {
+		if got := d.Quantile(q); got < 0 || got > v {
+			t.Fatalf("Quantile(%v) = %d, want clamped into [0, %d]", q, got, v)
+		}
+	}
+}
+
 // TestDistributionSkewedQuantiles feeds a bimodal latency shape (fast bulk,
 // slow tail) and checks the tail quantile lands in the slow mode — the whole
 // point of backing /metrics with the streaming histogram.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 )
 
 // Handler mounts the live introspection surface over an Obs bundle:
@@ -12,6 +13,9 @@ import (
 //	/metrics        Prometheus text exposition of every registered metric
 //	/healthz        200 "ok" (or 503 + reason when healthy() returns an error)
 //	/scans          recent scan traces as JSON, newest first (?n=K, default 32)
+//	/debug/hwprof   simulated-hardware cycle profile in pprof wire format
+//	                (?seconds=N for a delta window, ?format=text for the
+//	                line-oriented form histcli's renderers consume)
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // healthy may be nil (always healthy). The handler holds no locks across
@@ -53,6 +57,45 @@ func Handler(o *Obs, healthy func() error) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(traces)
+	})
+
+	mux.HandleFunc("/debug/hwprof", func(w http.ResponseWriter, r *http.Request) {
+		p := o.Profiler()
+		if p == nil {
+			http.Error(w, "hwprof: no profiler wired", http.StatusServiceUnavailable)
+			return
+		}
+		var seconds int
+		if q := r.URL.Query().Get("seconds"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "hwprof: seconds must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			seconds = v
+		}
+		prof := p.Snapshot()
+		if seconds > 0 {
+			// Delta profile: what accumulated over the window, in the style
+			// of /debug/pprof/profile?seconds=N. The wait is bounded by the
+			// request context so a dropped client frees the handler.
+			before := prof
+			select {
+			case <-time.After(time.Duration(seconds) * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+			prof = p.Snapshot().Sub(before)
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			b, _ := prof.MarshalText()
+			w.Write(b)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="hwprof.pb.gz"`)
+		prof.WritePprof(w)
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -86,6 +86,21 @@ func TestHandlerEndpoints(t *testing.T) {
 	if resp, _ := get(t, srv, "/scans?n=-3"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("/scans?n=-3 status %d, want 400", resp.StatusCode)
 	}
+	if resp, _ := get(t, srv, "/scans?n=0"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/scans?n=0 status %d, want 400", resp.StatusCode)
+	}
+	// A huge n clamps to the ring depth rather than overallocating or erroring.
+	resp, body = get(t, srv, "/scans?n=1000000000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/scans?n=1e9 status %d, want 200", resp.StatusCode)
+	}
+	traces = nil
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatalf("/scans?n=1e9 JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("/scans?n=1e9 returned %d traces, want the 1 published", len(traces))
+	}
 
 	if resp, _ := get(t, srv, "/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", resp.StatusCode)
@@ -110,4 +125,38 @@ func TestHandlerNilHealthAndEmptyState(t *testing.T) {
 	if resp, _ := get(t, srv, "/metrics"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("empty /metrics = %d", resp.StatusCode)
 	}
+}
+
+// TestHandlerHwprofEdgeCases: the profile endpoint must reject malformed
+// seconds values, serve an empty-but-valid profile before any scan ran, and
+// answer 503 (not panic) when the bundle has no profiler wired at all.
+func TestHandlerHwprofEdgeCases(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(), nil))
+	defer srv.Close()
+
+	for _, q := range []string{"?seconds=bogus", "?seconds=-1"} {
+		if resp, body := get(t, srv, "/debug/hwprof"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/debug/hwprof%s = %d %q, want 400", q, resp.StatusCode, body)
+		}
+	}
+	resp, body := get(t, srv, "/debug/hwprof?format=text")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/hwprof on idle profiler = %d %q", resp.StatusCode, body)
+	}
+	if !strings.HasPrefix(string(body), "# hwprof/1") {
+		t.Fatalf("idle text profile missing header: %q", firstOf(body))
+	}
+
+	noProf := httptest.NewServer(Handler(&Obs{Reg: NewRegistry(), Trace: NewTracer(8)}, nil))
+	defer noProf.Close()
+	if resp, body := get(t, noProf, "/debug/hwprof"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/debug/hwprof with no profiler = %d %q, want 503", resp.StatusCode, body)
+	}
+}
+
+func firstOf(b []byte) string {
+	if i := strings.IndexByte(string(b), '\n'); i >= 0 {
+		return string(b[:i])
+	}
+	return string(b)
 }

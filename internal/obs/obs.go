@@ -3,22 +3,26 @@ package obs
 import (
 	"context"
 	"log/slog"
+
+	"streamhist/internal/hwprof"
 )
 
-// Obs bundles the three observability facilities a component needs: the
-// metrics registry, the scan tracer, and a structured logger. A nil *Obs is
-// valid everywhere (all accessors degrade to no-ops), so components accept
-// one without guarding.
+// Obs bundles the observability facilities a component needs: the metrics
+// registry, the scan tracer, the hardware-cycle profiler, and a structured
+// logger. A nil *Obs is valid everywhere (all accessors degrade to no-ops),
+// so components accept one without guarding.
 type Obs struct {
 	Reg   *Registry
 	Trace *Tracer
+	Prof  *hwprof.Profiler
 	Log   *slog.Logger
 }
 
 // New returns a fully wired Obs: fresh registry, a DefaultTraceRing-deep
-// tracer, and a no-op logger (replace Log to get output).
+// tracer, a hardware-cycle profiler, and a no-op logger (replace Log to get
+// output).
 func New() *Obs {
-	return &Obs{Reg: NewRegistry(), Trace: NewTracer(0), Log: NopLogger()}
+	return &Obs{Reg: NewRegistry(), Trace: NewTracer(0), Prof: hwprof.New(), Log: NopLogger()}
 }
 
 // Registry returns the bundle's registry; nil for a nil bundle.
@@ -35,6 +39,15 @@ func (o *Obs) Tracer() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// Profiler returns the bundle's hardware-cycle profiler; nil for a nil
+// bundle (a nil profiler is itself a valid no-op).
+func (o *Obs) Profiler() *hwprof.Profiler {
+	if o == nil {
+		return nil
+	}
+	return o.Prof
 }
 
 // Logger returns the bundle's logger, or the shared no-op logger when the

@@ -34,6 +34,13 @@ type metrics struct {
 	faultsCorrected *obs.Counter
 	binsQuarantined *obs.Counter
 
+	// hwprofAttributed accumulates what the scan arithmetic says the
+	// hardware profile should hold: Σ healthy-lane cycles + aggregation +
+	// chain per refreshed scan. The streamhist_hwprof_consistency gauge
+	// compares the profiler's live total against this counter — the Table 2
+	// re-derivation as a scrapeable self-check.
+	hwprofAttributed *obs.Counter
+
 	activeConns *obs.Gauge
 	shardLanes  *obs.Gauge
 
@@ -76,6 +83,8 @@ func newMetrics(reg *obs.Registry, lanes int) metrics {
 		faultsCorrected: reg.Counter("streamhist_server_ecc_corrected_total", "Injected bin-memory upsets ECC repaired in merged side-path state."),
 		binsQuarantined: reg.Counter("streamhist_server_bins_quarantined_total", "Bins lost to uncorrectable memory upsets in merged side-path state."),
 
+		hwprofAttributed: reg.Counter("streamhist_hwprof_attributed_cycles_total", "Cycles the scan arithmetic (healthy lanes + aggregation + chain) expects the hardware profile to hold."),
+
 		activeConns: reg.Gauge("streamhist_server_active_conns", "Currently registered connections."),
 		shardLanes:  reg.Gauge("streamhist_server_shard_lanes", "Configured side-path fan-out (parallel Parser+Binner lanes per scan)."),
 
@@ -102,6 +111,31 @@ func newMetrics(reg *obs.Registry, lanes int) metrics {
 func (m *metrics) setLaneCycles(lane int, cycles int64) {
 	if lane >= 0 && lane < len(m.laneCycles) {
 		m.laneCycles[lane].Set(cycles)
+	}
+}
+
+// publishHwprof mirrors the hardware profiler's cycle totals into gauges,
+// aggregated over lanes to per-(module,stage,reason) so the exposition's
+// cardinality stays bounded by the stack vocabulary, not the lane count.
+// Runs once per refreshed scan, off the data path.
+func (s *Server) publishHwprof() {
+	p := s.obs.Profiler()
+	reg := s.obs.Registry()
+	if p == nil || reg == nil {
+		return
+	}
+	totals := make(map[[3]string]int64)
+	for _, smp := range p.Snapshot().Samples {
+		if len(smp.Stack) != 4 || smp.Cycles == 0 {
+			continue
+		}
+		totals[[3]string{smp.Stack[1], smp.Stack[2], smp.Stack[3]}] += smp.Cycles
+	}
+	for k, v := range totals {
+		reg.Gauge(
+			fmt.Sprintf("streamhist_hwprof_cycles{module=%q,stage=%q,reason=%q}",
+				obs.LabelValue(k[0]), obs.LabelValue(k[1]), obs.LabelValue(k[2])),
+			"Simulated cycles attributed by the hardware profiler, summed over lanes.").Set(v)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"streamhist/internal/faults"
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
+	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/table"
@@ -214,6 +215,22 @@ func New(cfg Config) *Server {
 		conns:     make(map[net.Conn]*connState),
 	}
 	s.metrics = newMetrics(cfg.Obs.Registry(), cfg.ShardLanes)
+	if prof := cfg.Obs.Profiler(); prof != nil {
+		// The self-check of the whole attribution scheme, as a scrapeable
+		// gauge: the profiler's live cycle total must equal what the PR 2
+		// critical-path arithmetic attributed across refreshed scans. Any
+		// drift — a lost spike, a double flush, a retired lane charged —
+		// reads as 0 on the next scrape.
+		expected := s.metrics.hwprofAttributed
+		cfg.Obs.Registry().GaugeFunc("streamhist_hwprof_consistency",
+			"1 when the hardware profile's cycle total matches the scan arithmetic attributed so far; 0 on drift.",
+			func() float64 {
+				if prof.TotalCycles() == expected.Value() {
+					return 1
+				}
+				return 0
+			})
+	}
 	if inj := cfg.Faults; inj != nil {
 		// One computed gauge per injection point, read from the injector's
 		// fork-tree-wide aggregate at scrape time: every scan's and lane's
@@ -891,6 +908,12 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 		// any lane (including lanes later retired), where the folded
 		// ecc_corrected/bins_quarantined counters only see merged state.
 		bcfg.MemEvents = s.metrics.memEvents
+		// Every lane charges its cycle attribution under its lane frame;
+		// lanes that never reach Finish (retired, watchdogged, abandoned)
+		// never flush, so discarded work stays out of the profile — the
+		// property the consistency gauge checks.
+		bcfg.Prof = s.obs.Profiler()
+		bcfg.ProfLane = fmt.Sprintf("lane%d", i)
 		sp.lanes[i] = &sideLane{
 			idx:    i,
 			parser: core.NewParser(meta.spec),
@@ -1125,9 +1148,11 @@ func (sp *sidePath) finish() sideResult {
 	}
 
 	laneCycles := make([]int64, len(healthy))
+	var laneSum int64
 	for i, l := range healthy {
 		_, ls := l.binner.Finish()
 		laneCycles[i] = ls.Cycles
+		laneSum += ls.Cycles
 		// Healthy lane span: wall clock from the lane goroutine's own
 		// stamps, hardware cost from the lane's binning completion cycle.
 		// The trace invariant max(lane HWCycles) + merge HWCycles ==
@@ -1135,6 +1160,10 @@ func (sp *sidePath) finish() sideResult {
 		sp.tr.AddSpan("lane", l.idx, l.wallStart.Load(), l.wallEnd.Load(), ls.Cycles, false)
 		sp.s.metrics.setLaneCycles(l.idx, ls.Cycles)
 	}
+	// Healthy lanes flushed their attribution when Finish ran above; record
+	// the matching expectation now, so even the cannot-happen merge-failure
+	// return below leaves profile and counter agreeing.
+	sp.s.metrics.hwprofAttributed.Add(laneSum)
 	mi := sp.tr.Begin("merge")
 	merged := healthy[0].binner
 	for _, l := range healthy[1:] {
@@ -1174,6 +1203,15 @@ func (sp *sidePath) finish() sideResult {
 	bstats.Cycles = hw.CriticalPath(laneCycles, agg)
 	comp := core.NewCompressedBlock(sp.s.cfg.TopK, sp.s.cfg.Buckets, vec.Total())
 	chain := core.NewScanner().Run(vec, comp)
+	if prof := sp.s.obs.Profiler(); prof != nil {
+		if agg > 0 {
+			n := prof.Node("merged", "aggregate", "fanin", hwprof.ReasonAgg)
+			n.Add(agg)
+			n.AddEvents(1)
+		}
+		chain.ChargeProfile(prof, "merged")
+		sp.s.metrics.hwprofAttributed.Add(agg + chain.TotalCycles)
+	}
 	// The merge span is charged everything past the lanes' own binning: the
 	// fan-in aggregation pass plus the histogram chain.
 	sp.tr.End(mi, agg+chain.TotalCycles)
@@ -1197,6 +1235,7 @@ func (sp *sidePath) finish() sideResult {
 	sp.s.metrics.rowsBinned.Add(bstats.Items)
 	sp.s.metrics.histRefreshed.Add(1)
 	sp.s.metrics.accelCycles.Add(int64(total))
+	sp.s.publishHwprof()
 
 	res.rows = uint64(bstats.Items)
 	res.refreshed = true

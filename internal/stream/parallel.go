@@ -11,6 +11,7 @@ import (
 	"streamhist/internal/core"
 	"streamhist/internal/faults"
 	"streamhist/internal/hw"
+	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/table"
@@ -61,7 +62,18 @@ type ParallelDataPath struct {
 	// duration distribution. All updates happen once per Scan, after the
 	// fan-in — never on the per-page hot path.
 	Obs *obs.Registry
+	// Prof, when non-nil, receives the cycle attribution of every scan:
+	// each surviving lane's pipeline decomposition under its "lane<i>"
+	// frame (the inline replay lane under "inline"), and the aggregation
+	// fan-in plus histogram chain under "merged". Retired lanes never
+	// flush, so discarded work is never charged. Nil keeps the unprofiled
+	// baseline.
+	Prof *hwprof.Profiler
 }
+
+// Profile snapshots the accumulated cycle attribution (empty when no
+// profiler is wired).
+func (d *ParallelDataPath) Profile() *hwprof.Profile { return d.Prof.Snapshot() }
 
 // DefaultStallTimeout is how long a lane may block the splitter or the
 // fan-in before being declared stalled and retired.
@@ -206,9 +218,14 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		if err != nil {
 			return nil, err
 		}
+		bcfg := d.Config.Binner
+		if d.Prof != nil {
+			bcfg.Prof = d.Prof
+			bcfg.ProfLane = fmt.Sprintf("lane%d", i)
+		}
 		lanes[i] = &lane{
 			parser:  core.NewParser(d.Config.Column),
-			binner:  core.NewBinner(d.Config.Binner, p),
+			binner:  core.NewBinner(bcfg, p),
 			ch:      make(chan []*page.Page, 4),
 			done:    make(chan struct{}),
 			inj:     d.Faults.Fork(fmt.Sprintf("lane%d", i)),
@@ -353,9 +370,14 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		if err != nil {
 			return nil, err
 		}
+		bcfg := d.Config.Binner
+		if d.Prof != nil {
+			bcfg.Prof = d.Prof
+			bcfg.ProfLane = "inline"
+		}
 		inline = &lane{
 			parser: core.NewParser(d.Config.Column),
-			binner: core.NewBinner(d.Config.Binner, p),
+			binner: core.NewBinner(bcfg, p),
 		}
 		var vals []int64
 		for _, chunk := range orphaned {
@@ -425,9 +447,15 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		agg = hw.AggregationCycles(vec.NumBins(), d.Config.Binner.Mem.BinsPerLine)
 	}
 	mstats.Cycles = hw.CriticalPath(laneCycles, agg)
+	if agg > 0 && d.Prof != nil {
+		n := d.Prof.Node("merged", "aggregate", "fanin", hwprof.ReasonAgg)
+		n.Add(agg)
+		n.AddEvents(1)
+	}
 
 	blocks := blocksFor(d.Config, vec)
 	chain := core.NewScanner().Run(vec, blocks.list...)
+	chain.ChargeProfile(d.Prof, "merged")
 
 	clk := d.Config.Binner.Clock
 	if clk.Hz == 0 {

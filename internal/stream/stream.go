@@ -14,6 +14,7 @@ import (
 	"streamhist/internal/core"
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
+	"streamhist/internal/hwprof"
 	"streamhist/internal/page"
 	"streamhist/internal/table"
 )
@@ -144,7 +145,15 @@ type DataPath struct {
 	Column string
 	Link   Link
 	Config core.Config
+	// Prof, when non-nil, receives the cycle attribution of every scan:
+	// the binner's pipeline decomposition under lane frame "lane0" and the
+	// histogram chain under "merged". Nil keeps the unprofiled baseline.
+	Prof *hwprof.Profiler
 }
+
+// Profile snapshots the accumulated cycle attribution (empty when no
+// profiler is wired).
+func (d *DataPath) Profile() *hwprof.Profile { return d.Prof.Snapshot() }
 
 // NewDataPath builds a path with the default accelerator configuration for
 // the column's observed value range.
@@ -181,7 +190,12 @@ func (d *DataPath) Scan(hostSink io.Writer, readBufBytes int) (*ScanResult, erro
 	if err != nil {
 		return nil, err
 	}
-	binner := core.NewBinner(d.Config.Binner, pre)
+	bcfg := d.Config.Binner
+	if d.Prof != nil {
+		bcfg.Prof = d.Prof
+		bcfg.ProfLane = "lane0"
+	}
+	binner := core.NewBinner(bcfg, pre)
 	src := NewPagesReader(d.Rel)
 	tap := NewTap(src, d.Config.Column, binner)
 
@@ -196,6 +210,7 @@ func (d *DataPath) Scan(hostSink io.Writer, readBufBytes int) (*ScanResult, erro
 	vec, bstats := binner.Finish()
 	blocks := blocksFor(d.Config, vec)
 	chain := core.NewScanner().Run(vec, blocks.list...)
+	chain.ChargeProfile(d.Prof, "merged")
 
 	clk := d.Config.Binner.Clock
 	if clk.Hz == 0 {
