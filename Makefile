@@ -5,7 +5,7 @@
 
 GO ?= go
 FUZZTIME ?= 30s
-BENCHJSON ?= BENCH_PR5.json
+BENCHJSON ?= BENCH_PR6.json
 
 .PHONY: check vet build test race fuzz bench bench-json lint
 

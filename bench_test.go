@@ -20,6 +20,7 @@ import (
 	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
+	"streamhist/internal/sketch"
 	"streamhist/internal/stream"
 	"streamhist/internal/table"
 	"streamhist/internal/tpch"
@@ -423,6 +424,42 @@ func BenchmarkParallelDataPathProf(b *testing.B) {
 				}
 			}
 			b.SetBytes(res.HostBytes)
+		})
+	}
+}
+
+// BenchmarkParallelDataPathSketch measures the sketch chain's real-CPU cost
+// on the 4-shard parallel data path. "nil" is the disabled configuration —
+// NewChain returns nil and the Binner hot path pays a single pointer test
+// per value — and is the ≤5% overhead gate recorded in EXPERIMENTS.md.
+// "chain" runs the full default chain (HLL p=12, SpaceSaving k=16, window
+// 1024) per lane with the fan-in merge, the actual price of NDV + heavy
+// hitters + window riding a served scan.
+func BenchmarkParallelDataPathSketch(b *testing.B) {
+	rel := tpch.Lineitem(100_000, 10, 305)
+	for _, mode := range []struct {
+		name string
+		spec sketch.ChainSpec
+	}{
+		{"nil", sketch.ChainSpec{}},
+		{"chain", sketch.DefaultChainSpec()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dp, err := stream.NewParallelDataPath(rel, "l_quantity", stream.TenGbE, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dp.Sketch = mode.spec
+			b.ReportAllocs()
+			var res *stream.ParallelScanResult
+			for i := 0; i < b.N; i++ {
+				res, err = dp.Scan(io.Discard, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(res.HostBytes)
+			b.ReportMetric(float64(res.Results.SketchCycles), "sim-sketch-cycles")
 		})
 	}
 }

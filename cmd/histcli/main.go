@@ -36,6 +36,7 @@ import (
 
 	"streamhist/internal/core"
 	"streamhist/internal/hist"
+	"streamhist/internal/sketch"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	buckets := flag.Int("buckets", 16, "number of buckets (B)")
 	topk := flag.Int("topk", 8, "frequency-list length (T)")
 	divisor := flag.Int64("divisor", 1, "bin divisor (values per bin)")
+	sketches := flag.Bool("sketch", false, "also run the sketch chain (HLL NDV, heavy hitters, sliding window)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: histcli [flags] [file]")
 		fmt.Fprintln(os.Stderr, "       histcli metrics [-addr host:port] [-scans K] [-check] [-grep pattern]")
@@ -96,6 +98,9 @@ func main() {
 	cfg.MaxDiffBuckets = *buckets
 	cfg.CompressedT = *topk
 	cfg.CompressedBuckets = *buckets
+	if *sketches {
+		cfg.Binner.Sketches = sketch.NewChain(sketch.DefaultChainSpec())
+	}
 	circuit, err := core.NewCircuit(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -120,11 +125,39 @@ func main() {
 		fatalf("unknown kind %q", *kind)
 	}
 
+	printSketches(res.Sketches)
+
 	fmt.Printf("\n%d values, %d distinct, %d bins in memory\n",
 		res.Bins.Total(), res.Bins.Cardinality(), res.Bins.NumBins())
 	fmt.Printf("simulated accelerator time: %.3fms binning + %.3fms histograms (cache hit rate %.0f%%)\n",
 		res.BinningSeconds*1e3, res.HistogramSeconds*1e3,
 		100*float64(res.BinnerStats.CacheHits)/float64(res.BinnerStats.CacheHits+res.BinnerStats.CacheMisses))
+	if res.SketchCycles > 0 {
+		fmt.Printf("sketch chain: %d cycles (%.3fms) riding the same stream\n",
+			res.SketchCycles, res.SketchSeconds*1e3)
+	}
+}
+
+func printSketches(blocks sketch.Blocks) {
+	if len(blocks) == 0 {
+		return
+	}
+	fmt.Println("\nSketches (side effects of the same pass):")
+	if hll := blocks.HLL(); hll != nil {
+		fmt.Printf("  ndv ≈ %.0f (HLL precision %d, %d values)\n",
+			hll.Estimate(), hll.Precision(), hll.Items())
+	}
+	if ss := blocks.Heavy(); ss != nil {
+		for i, hh := range ss.Top(8) {
+			fmt.Printf("  heavy #%-2d value %-12d count %d (overcount ≤ %d)\n",
+				i+1, hh.Value, hh.Count, hh.Err)
+		}
+	}
+	if w := blocks.Window(); w != nil {
+		agg := w.Aggregate()
+		fmt.Printf("  window(last %d): count %d sum %d min %d max %d\n",
+			w.W(), agg.Count, agg.Sum, agg.Min, agg.Max)
+	}
 }
 
 func readValues(r io.Reader) ([]int64, error) {

@@ -28,6 +28,7 @@ import (
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
 	"streamhist/internal/server"
+	"streamhist/internal/sketch"
 	"streamhist/internal/tpch"
 )
 
@@ -63,6 +64,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   histserved serve  [-addr :7744] [-rows N] [-seed S] [-lanes N]
                     [-chaos profile] [-chaos-seed S] [-metrics-addr host:port]
+                    [-sketch-ndv p] [-sketch-k K] [-sketch-window W]
+                    [-no-sketch]
   histserved tables [-addr host:port]                   list served tables
   histserved scan   [-addr host:port] [-o file] <table> <column>
   histserved stats  [-addr host:port] <table> <column>
@@ -73,6 +76,10 @@ text), /scans (recent scan traces as JSON), /healthz, /debug/hwprof
 
 -lanes fixes the side-path fan-out (parallel Parser+Binner lanes per scan);
 with -lanes 1 the profile total equals the accel-cycles counter exactly.
+
+-sketch-ndv/-sketch-k/-sketch-window shape the sketch chain every served
+scan runs beside the histogram (HyperLogLog precision, heavy-hitter
+counters, sliding-window width); -no-sketch disables the chain.
 
 chaos profiles (deterministic fault injection; for testing the fail-open
 posture — never enable in production): corruption-heavy, lane-failure-heavy,
@@ -89,6 +96,10 @@ func runServe(args []string) error {
 	chaos := fs.String("chaos", "", "fault-injection profile (corruption-heavy, lane-failure-heavy, network-flaky)")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP introspection address (/metrics, /scans, /healthz, /debug/pprof); empty disables")
+	ndvPrec := fs.Int("sketch-ndv", 0, "HyperLogLog precision (2^p registers, 4..16; 0 = default)")
+	heavyK := fs.Int("sketch-k", 0, "SpaceSaving heavy-hitter counters (0 = default)")
+	windowW := fs.Int("sketch-window", 0, "sliding-window width in values (0 = default)")
+	noSketch := fs.Bool("no-sketch", false, "disable the sketch chain entirely")
 	fs.Parse(args)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -96,6 +107,20 @@ func runServe(args []string) error {
 	o.Log = log
 
 	cfg := server.Config{DrainWorkers: *workers, ShardLanes: *lanes, Obs: o}
+	cfg.SketchDisabled = *noSketch
+	if *ndvPrec > 0 || *heavyK > 0 || *windowW > 0 {
+		spec := sketch.DefaultChainSpec()
+		if *ndvPrec > 0 {
+			spec.NDVPrecision = *ndvPrec
+		}
+		if *heavyK > 0 {
+			spec.HeavyK = *heavyK
+		}
+		if *windowW > 0 {
+			spec.WindowW = *windowW
+		}
+		cfg.Sketch = spec
+	}
 	if *chaos != "" {
 		profile, err := faults.ByName(*chaos)
 		if err != nil {
@@ -219,9 +244,17 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Printf("%s.%s (rows=%d version=%d)\n", st.Table, st.Column, st.RowCount, st.Version)
+	printHistogramSection(st)
+	printNDVSection(st)
+	printHeavySection(st)
+	printWindowSection(st)
+	return nil
+}
+
+func printHistogramSection(st *client.Stats) {
 	h := st.Histogram
-	fmt.Printf("%s.%s: %v (rows=%d ndistinct=%d version=%d)\n",
-		st.Table, st.Column, h, st.RowCount, st.NDistinct, st.Version)
+	fmt.Printf("histogram: %v\n", h)
 	for i, f := range h.Frequent {
 		if i >= 8 {
 			fmt.Printf("  ... %d more frequent values\n", len(h.Frequent)-i)
@@ -236,7 +269,45 @@ func runStats(args []string) error {
 		}
 		fmt.Printf("  [%d, %d] count %d distinct %d\n", b.Low, b.High, b.Count, b.Distinct)
 	}
-	return nil
+}
+
+func printNDVSection(st *client.Stats) {
+	fmt.Printf("ndv: %d distinct in binned view\n", st.NDistinct)
+	if hll := st.Sketches.HLL(); hll != nil {
+		fmt.Printf("  hll estimate %.0f (precision %d, %d values seen%s)\n",
+			hll.Estimate(), hll.Precision(), hll.Items(), degradedSuffix(hll.Degraded()))
+	}
+}
+
+func printHeavySection(st *client.Stats) {
+	ss := st.Sketches.Heavy()
+	if ss == nil {
+		return
+	}
+	fmt.Printf("heavy hitters: top %d of %d values seen%s\n",
+		ss.Capacity(), ss.Items(), degradedSuffix(ss.Degraded()))
+	for i, hh := range ss.Top(8) {
+		fmt.Printf("  #%d value %d: count %d (overcount ≤ %d)\n", i+1, hh.Value, hh.Count, hh.Err)
+	}
+}
+
+func printWindowSection(st *client.Stats) {
+	w := st.Sketches.Window()
+	if w == nil {
+		return
+	}
+	agg := w.Aggregate()
+	fmt.Printf("window: last %d of %d values%s\n", w.W(), w.Items(), degradedSuffix(w.Degraded()))
+	if agg.Count > 0 {
+		fmt.Printf("  count %d sum %d min %d max %d\n", agg.Count, agg.Sum, agg.Min, agg.Max)
+	}
+}
+
+func degradedSuffix(d bool) string {
+	if d {
+		return ", DEGRADED"
+	}
+	return ""
 }
 
 func runTables(args []string) error {

@@ -16,6 +16,7 @@ import (
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
 	"streamhist/internal/server"
+	"streamhist/internal/sketch"
 )
 
 // Client is one connection to a histserved server. It is not safe for
@@ -315,6 +316,10 @@ type Stats struct {
 	Version uint64
 	// Histogram is the freshest served-scan histogram.
 	Histogram *hist.Histogram
+	// Sketches are the statistic blocks the same scan refreshed beside the
+	// histogram (HLL NDV, heavy hitters, sliding window). Empty when the
+	// server runs without a sketch chain or predates it.
+	Sketches sketch.Blocks
 }
 
 // Stats fetches the freshest histogram for table.column. A corrupt
@@ -340,6 +345,10 @@ func (c *Client) Stats(table, column string) (*Stats, error) {
 	if err := h.UnmarshalBinary(res.Histogram); err != nil {
 		return nil, fmt.Errorf("client: decoding STATS histogram for %s.%s: %w", table, column, err)
 	}
+	blocks, err := sketch.DecodeBlocks(res.Sketches)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding STATS sketches for %s.%s: %w", table, column, err)
+	}
 	return &Stats{
 		Table:     table,
 		Column:    column,
@@ -347,6 +356,7 @@ func (c *Client) Stats(table, column string) (*Stats, error) {
 		NDistinct: res.NDistinct,
 		Version:   res.Version,
 		Histogram: h,
+		Sketches:  blocks,
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"streamhist/internal/faults"
 	"streamhist/internal/hw"
 	"streamhist/internal/hwprof"
+	"streamhist/internal/sketch"
 )
 
 // BinnerConfig parameterises the Binner module simulation.
@@ -40,6 +41,12 @@ type BinnerConfig struct {
 	// ProfLane is the outermost profile frame for this binner's cycles
 	// (e.g. "lane3"); empty means "lane0". Ignored when Prof is nil.
 	ProfLane string
+	// Sketches, when non-nil, is the daisy chain of statistic blocks riding
+	// this lane of the side path (internal/sketch). The chain sees every raw
+	// value — including ones the preprocessor drops as out of range — before
+	// binning, and merges across lanes like the bin state does. Nil is the
+	// zero-cost baseline.
+	Sketches *sketch.Chain
 }
 
 // DefaultBinnerConfig returns the paper's prototype parameters.
@@ -162,6 +169,10 @@ type Binner struct {
 	// prof accumulates this lane's cycle attribution; nil when profiling is
 	// off (the zero-cost baseline).
 	prof *binnerProf
+
+	// chain is this lane's sketch chain; nil when sketches are off (the
+	// zero-cost baseline, same discipline as prof).
+	chain *sketch.Chain
 }
 
 // NewBinner wires a Binner for the given preprocessor. The returned
@@ -200,11 +211,19 @@ func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
 		}
 		b.prof = &binnerProf{p: cfg.Prof, lane: lane}
 	}
+	b.chain = cfg.Sketches
 	return b
 }
 
 // Push streams one value through the pipeline.
 func (b *Binner) Push(value int64) {
+	// The sketch chain taps the raw stream ahead of the preprocessor, so
+	// values the address map drops still count toward NDV, heavy hitters,
+	// and the window — the chain summarises data movement, not the binned
+	// view. Nil chain costs one pointer test.
+	if b.chain != nil {
+		b.chain.Push(value)
+	}
 	addr, ok := b.pre.Address(value)
 	if !ok {
 		b.stats.Dropped++
@@ -325,9 +344,35 @@ func (b *Binner) Merge(other *Binner) error {
 	if err := b.vec.Merge(other.vec); err != nil {
 		return err
 	}
+	// Fold the other lane's sketch chain in alongside its bin state. A lane
+	// without a chain contributes nothing; if only the other lane carries
+	// one (an inline replay lane, say), adopt it wholesale.
+	if other.chain != nil {
+		if b.chain == nil {
+			b.chain = other.chain
+		} else if err := b.chain.Merge(other.chain); err != nil {
+			return err
+		}
+	}
 	b.merged = b.merged.Merge(other.snapshotStats())
 	return nil
 }
+
+// SetStreamPos repositions the sketch chain's global stream cursor. The
+// parallel path calls this at every page boundary with pageIndex·capacity —
+// pages are fully packed, so that is the page's first row ordinal — which
+// keeps position-sensitive blocks (the sliding window) exact no matter which
+// lane a page lands on or when a retired lane's pages are replayed. A no-op
+// without a chain.
+func (b *Binner) SetStreamPos(pos int64) {
+	if b.chain != nil {
+		b.chain.SetPos(pos)
+	}
+}
+
+// SketchChain returns the lane's sketch chain (nil when sketches are off).
+// After Merge it covers every merged lane.
+func (b *Binner) SketchChain() *sketch.Chain { return b.chain }
 
 // finalizeMem folds the ECC-checked memory model (if one is wired) back
 // into the plain bin vector: the final scrub pass corrects what it can,

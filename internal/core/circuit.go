@@ -7,6 +7,7 @@ import (
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
 	"streamhist/internal/page"
+	"streamhist/internal/sketch"
 	"streamhist/internal/table"
 )
 
@@ -93,6 +94,17 @@ type Results struct {
 
 	// Bins is the binned sorted view left in accelerator memory.
 	Bins *bins.Vector
+
+	// Sketches are the daisy-chained statistic blocks' results (nil when the
+	// sketch chain is disabled). After a parallel scan they are the merged
+	// chain, covering every lane.
+	Sketches sketch.Blocks
+	// SketchCycles is the chain's simulated processing cost, charged beside
+	// (not inside) the Binner's completion time: the blocks are pipelined on
+	// the side path, so they never stall the host stream.
+	SketchCycles int64
+	// SketchSeconds converts SketchCycles with the circuit clock.
+	SketchSeconds float64
 
 	// BinnerStats is the binning pipeline's cycle accounting.
 	BinnerStats BinnerStats
@@ -192,6 +204,11 @@ func (c *Circuit) ProcessValues(values []int64) *Results {
 		HostPathAddedSeconds: c.cfg.Splitter.AddedLatencySeconds(),
 	}
 	res.TotalSeconds = c.cfg.ParseLatencyMicros*1e-6 + res.BinningSeconds + res.HistogramSeconds
+	if sc := binner.SketchChain(); sc != nil {
+		res.Sketches = sc.Blocks()
+		res.SketchCycles = sc.TotalCycles()
+		res.SketchSeconds = c.clock.Seconds(res.SketchCycles)
+	}
 
 	distinct := int64(vec.Cardinality())
 	if topk != nil {

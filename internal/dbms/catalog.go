@@ -6,12 +6,18 @@ import (
 	"sync"
 
 	"streamhist/internal/hist"
+	"streamhist/internal/sketch"
 )
 
 // ColumnStats is one catalog entry: the optimizer-visible statistics of a
 // column at the time they were last gathered.
 type ColumnStats struct {
 	Histogram *hist.Histogram
+	// Sketches are the statistic blocks the same scan refreshed beside the
+	// histogram (internal/sketch): HLL NDV, heavy hitters, sliding-window
+	// aggregate. Nil when the serving side ran without a sketch chain.
+	Sketches sketch.Blocks
+	// NDistinct is the exact distinct count of the gathered binned view.
 	NDistinct int64
 	// RowCount is the table cardinality when the stats were gathered.
 	RowCount int64
@@ -129,6 +135,53 @@ func (c *Catalog) EstimateLess(tableName, column string, v int64) float64 {
 		return 1
 	}
 	return s.Histogram.EstimateLess(v)
+}
+
+// NDVEstimate returns the column's distinct-count estimate, preferring the
+// HLL sketch (which saw every raw value, dropped or not) over the binned
+// view's exact cardinality. ok is false when no statistics exist at all.
+func (c *Catalog) NDVEstimate(tableName, column string) (ndv float64, ok bool) {
+	s := c.Get(tableName, column)
+	if s == nil {
+		return 0, false
+	}
+	if est, found := s.Sketches.NDVEstimate(); found {
+		return est, true
+	}
+	if s.NDistinct > 0 {
+		return float64(s.NDistinct), true
+	}
+	return 0, false
+}
+
+// EstimateEquiJoinRows estimates |A ⋈ B| on A.cA = B.cB with the textbook
+// containment assumption: |A|·|B| / max(ndv(A.cA), ndv(B.cB)). With no NDV
+// for either side it falls back to the smaller row count — the same kind of
+// blind default that produces the bad plans of §2, surfaced here so planner
+// tests can show sketch-backed NDV changing join orders.
+func (c *Catalog) EstimateEquiJoinRows(tableA, colA, tableB, colB string) float64 {
+	rowsA := c.rowCount(tableA, colA)
+	rowsB := c.rowCount(tableB, colB)
+	ndvA, okA := c.NDVEstimate(tableA, colA)
+	ndvB, okB := c.NDVEstimate(tableB, colB)
+	maxNDV := ndvA
+	if ndvB > maxNDV {
+		maxNDV = ndvB
+	}
+	if (!okA && !okB) || maxNDV < 1 {
+		if rowsA < rowsB {
+			return rowsA
+		}
+		return rowsB
+	}
+	return rowsA * rowsB / maxNDV
+}
+
+func (c *Catalog) rowCount(tableName, column string) float64 {
+	if s := c.Get(tableName, column); s != nil {
+		return float64(s.RowCount)
+	}
+	return 1
 }
 
 // Describe renders a short summary of a column's catalog entry.

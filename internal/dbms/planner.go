@@ -111,6 +111,39 @@ func ChooseJoinOrdered(c PlannerCosts, estA, estB float64, equality bool) Ordere
 	return OrderedJoinPlan{JoinPlan: ab}
 }
 
+// EquiJoinPlan is PlanEquiJoin's decision: the physical plan plus the
+// sketch-informed cardinality the planner worked from.
+type EquiJoinPlan struct {
+	OrderedJoinPlan
+	// EstJoinRows is the estimated output cardinality,
+	// |A|·|B| / max(ndv(A.cA), ndv(B.cB)), from Catalog.EstimateEquiJoinRows.
+	EstJoinRows float64
+	// NDVA and NDVB are the per-side distinct-count estimates the output
+	// estimate used (0 when a side had no statistics). With a sketch-bearing
+	// catalog these come from the HLL blocks served scans refreshed — the
+	// NDV is a side effect of data movement, never an ANALYZE.
+	NDVA, NDVB float64
+}
+
+// PlanEquiJoin plans A ⋈ B on A.colA = B.colB from the catalog's statistics:
+// row counts size the join inputs, and the NDV estimates — HLL sketches when
+// served scans have refreshed them, the binned view's cardinality otherwise —
+// size the output. This is the planner-visible payoff of the sketch engine:
+// the same stale-vs-fresh experiments Fig 1 runs on histograms apply to join
+// cardinality through this hook.
+func PlanEquiJoin(cat *Catalog, c PlannerCosts, tableA, colA, tableB, colB string) EquiJoinPlan {
+	rowsA := cat.rowCount(tableA, colA)
+	rowsB := cat.rowCount(tableB, colB)
+	ndvA, _ := cat.NDVEstimate(tableA, colA)
+	ndvB, _ := cat.NDVEstimate(tableB, colB)
+	return EquiJoinPlan{
+		OrderedJoinPlan: ChooseJoinOrdered(c, rowsA, rowsB, true),
+		EstJoinRows:     cat.EstimateEquiJoinRows(tableA, colA, tableB, colB),
+		NDVA:            ndvA,
+		NDVB:            ndvB,
+	}
+}
+
 // ChooseJoin picks the cheapest join method for the estimated input sizes.
 // equality enables the hash join; the paper's Fig 21 note explains that
 // PostgreSQL considers more than nested loops only for equality joins

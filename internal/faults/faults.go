@@ -51,6 +51,14 @@ const (
 	// LaneStall makes a shard lane stop draining its channel for a while.
 	LaneStall Point = "lane.stall"
 
+	// SketchCorrupt marks one statistic block of a sketch chain degraded
+	// (a soft upset in a daisy-chained block's state; the block keeps
+	// consuming but its answer is advisory).
+	SketchCorrupt Point = "sketch.corrupt"
+	// SketchRetire detaches one statistic block from the stream entirely;
+	// the rest of the chain — and the histogram path — keep running.
+	SketchRetire Point = "sketch.retire"
+
 	// ConnReset drops a serving connection mid-scan.
 	ConnReset Point = "server.conn.reset"
 	// DrainSaturate makes the drain-worker pool report itself full, so a
@@ -64,6 +72,7 @@ func Points() []Point {
 		MemReadFlip, MemWriteFlip, MemLatencySpike,
 		PageCorrupt, PageTruncate,
 		LanePanic, LaneStall,
+		SketchCorrupt, SketchRetire,
 		ConnReset, DrainSaturate,
 	}
 }
@@ -119,6 +128,8 @@ func ByName(name string) (Profile, error) {
 			MemReadFlip:     0.002,
 			MemWriteFlip:    0.002,
 			MemLatencySpike: 0.01,
+			SketchCorrupt:   0.02,
+			SketchRetire:    0.01,
 		}, nil
 	case ProfileLaneFailureHeavy:
 		return Profile{

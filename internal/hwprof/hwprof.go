@@ -39,6 +39,7 @@ const (
 	ReasonECC       = "ecc-correct"
 	ReasonSpike     = "spike"
 	ReasonAgg       = "aggregation"
+	ReasonSketch    = "sketch"
 )
 
 // frameSep joins stack frames into map keys; frame names must not contain

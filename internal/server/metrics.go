@@ -5,6 +5,7 @@ import (
 
 	"streamhist/internal/hw"
 	"streamhist/internal/obs"
+	"streamhist/internal/sketch"
 )
 
 // metrics is the server's instrumentation, backed by registry instruments so
@@ -136,6 +137,34 @@ func (s *Server) publishHwprof() {
 			fmt.Sprintf("streamhist_hwprof_cycles{module=%q,stage=%q,reason=%q}",
 				obs.LabelValue(k[0]), obs.LabelValue(k[1]), obs.LabelValue(k[2])),
 			"Simulated cycles attributed by the hardware profiler, summed over lanes.").Set(v)
+	}
+}
+
+// publishSketch mirrors the most recent refreshed scan's merged sketch chain
+// into gauges: items consumed and degradation per block, plus the HLL NDV
+// estimate. Cardinality is bounded by the chain's block vocabulary. Runs once
+// per refreshed scan, off the data path; a nil chain publishes nothing.
+func (s *Server) publishSketch(c *sketch.Chain) {
+	reg := s.obs.Registry()
+	if c == nil || reg == nil {
+		return
+	}
+	for _, b := range c.Blocks() {
+		name := obs.LabelValue(b.Name())
+		reg.Gauge(
+			fmt.Sprintf("streamhist_sketch_items{block=%q}", name),
+			"Values consumed per sketch block by the most recent refreshed scan's merged chain.").Set(b.Items())
+		var deg int64
+		if b.Degraded() {
+			deg = 1
+		}
+		reg.Gauge(
+			fmt.Sprintf("streamhist_sketch_degraded{block=%q}", name),
+			"1 when the sketch block's state is suspect (fault-corrupted, retired, or fed an incomplete stream).").Set(deg)
+	}
+	if ndv, ok := c.Blocks().NDVEstimate(); ok {
+		reg.Gauge("streamhist_sketch_ndv_estimate",
+			"HyperLogLog distinct-count estimate from the most recent refreshed scan.").Set(int64(ndv + 0.5))
 	}
 }
 

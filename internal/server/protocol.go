@@ -365,36 +365,104 @@ func DecodeScanSummary(buf []byte) (ScanSummary, error) {
 }
 
 // StatsResult is a STATS response: the catalog entry plus the histogram's
-// own binary encoding (hist.Histogram.MarshalBinary) carried opaquely.
+// own binary encoding (hist.Histogram.MarshalBinary) carried opaquely, and —
+// since the sketch engine — the serialized sketch blocks the same scan
+// refreshed (sketch encodings, also opaque here).
 type StatsResult struct {
 	RowCount  int64
 	NDistinct int64
 	Version   uint64
 	Histogram []byte
+	// Sketches carries the catalog entry's serialized statistic blocks
+	// (internal/sketch encodings). Empty both for pre-sketch peers and for
+	// servers running with the chain disabled.
+	Sketches [][]byte
 }
 
-// EncodeStatsResult serialises a FrameStatsResult payload.
+// statsResultV2Marker introduces the sectioned v2 layout after the fixed
+// 24-byte header. It cannot collide with a legacy payload: in the v1 layout
+// offset 24 is the first byte of the histogram encoding, which always starts
+// with 0x53 (the low byte of hist's little-endian magic).
+const statsResultV2Marker byte = 0xF2
+
+// EncodeStatsResult serialises a FrameStatsResult payload. Without sketches
+// it emits the legacy v1 layout (fixed header, histogram as the remainder),
+// byte-for-byte what pre-sketch servers sent, so old clients interoperate
+// whenever there is nothing new to say. With sketches it emits v2: the same
+// header, the marker byte, a length-prefixed histogram, and a counted list
+// of length-prefixed sketch encodings.
 func EncodeStatsResult(s StatsResult) []byte {
 	out := make([]byte, 0, 24+len(s.Histogram))
 	out = binary.LittleEndian.AppendUint64(out, uint64(s.RowCount))
 	out = binary.LittleEndian.AppendUint64(out, uint64(s.NDistinct))
 	out = binary.LittleEndian.AppendUint64(out, s.Version)
-	return append(out, s.Histogram...)
+	if len(s.Sketches) == 0 {
+		return append(out, s.Histogram...)
+	}
+	out = append(out, statsResultV2Marker)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Histogram)))
+	out = append(out, s.Histogram...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Sketches)))
+	for _, raw := range s.Sketches {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(raw)))
+		out = append(out, raw...)
+	}
+	return out
 }
 
-// DecodeStatsResult parses a FrameStatsResult payload. The histogram bytes
-// alias buf and are not themselves validated here — the client decodes them
-// with hist.Histogram.UnmarshalBinary, which detects corruption.
+// DecodeStatsResult parses a FrameStatsResult payload, either layout. The
+// histogram and sketch bytes alias buf and are not themselves validated here
+// — the client decodes them with hist.Histogram.UnmarshalBinary and
+// sketch.Decode, which detect corruption.
 func DecodeStatsResult(buf []byte) (StatsResult, error) {
 	if len(buf) < 24 {
 		return StatsResult{}, fmt.Errorf("%w: stats result is %d bytes, want ≥ 24", ErrBadFrame, len(buf))
 	}
-	return StatsResult{
+	s := StatsResult{
 		RowCount:  int64(binary.LittleEndian.Uint64(buf[0:8])),
 		NDistinct: int64(binary.LittleEndian.Uint64(buf[8:16])),
 		Version:   binary.LittleEndian.Uint64(buf[16:24]),
-		Histogram: buf[24:],
-	}, nil
+	}
+	rest := buf[24:]
+	if len(rest) == 0 || rest[0] != statsResultV2Marker {
+		s.Histogram = rest
+		return s, nil
+	}
+	rest = rest[1:]
+	if len(rest) < 4 {
+		return StatsResult{}, fmt.Errorf("%w: stats result v2 truncated before histogram length", ErrBadFrame)
+	}
+	histLen := int(binary.LittleEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	if histLen > len(rest) {
+		return StatsResult{}, fmt.Errorf("%w: stats result histogram length %d exceeds payload", ErrBadFrame, histLen)
+	}
+	s.Histogram = rest[:histLen]
+	rest = rest[histLen:]
+	if len(rest) < 2 {
+		return StatsResult{}, fmt.Errorf("%w: stats result v2 truncated before sketch count", ErrBadFrame)
+	}
+	n := int(binary.LittleEndian.Uint16(rest[0:2]))
+	rest = rest[2:]
+	if n > maxListEntries {
+		return StatsResult{}, fmt.Errorf("%w: stats result claims %d sketches", ErrBadFrame, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(rest) < 4 {
+			return StatsResult{}, fmt.Errorf("%w: stats result truncated in sketch %d length", ErrBadFrame, i)
+		}
+		l := int(binary.LittleEndian.Uint32(rest[0:4]))
+		rest = rest[4:]
+		if l > len(rest) {
+			return StatsResult{}, fmt.Errorf("%w: stats result sketch %d length %d exceeds payload", ErrBadFrame, i, l)
+		}
+		s.Sketches = append(s.Sketches, rest[:l])
+		rest = rest[l:]
+	}
+	if len(rest) != 0 {
+		return StatsResult{}, fmt.Errorf("%w: stats result has %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return s, nil
 }
 
 // TableInfo is one entry of the table listing.

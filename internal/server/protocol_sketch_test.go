@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Without sketches the encoder must emit the exact legacy layout — the fixed
+// 24-byte header with the histogram as the remainder — so pre-sketch peers
+// interoperate whenever there is nothing new to carry.
+func TestStatsResultNoSketchesIsLegacyLayout(t *testing.T) {
+	s := StatsResult{RowCount: 7, NDistinct: 3, Version: 9, Histogram: []byte{0x53, 0x48, 1, 2}}
+	got := EncodeStatsResult(s)
+
+	var want []byte
+	want = binary.LittleEndian.AppendUint64(want, 7)
+	want = binary.LittleEndian.AppendUint64(want, 3)
+	want = binary.LittleEndian.AppendUint64(want, 9)
+	want = append(want, s.Histogram...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sketch-free encoding is not the legacy layout:\n got % x\nwant % x", got, want)
+	}
+
+	back, err := DecodeStatsResult(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sketches) != 0 || !bytes.Equal(back.Histogram, s.Histogram) {
+		t.Fatalf("legacy round trip drifted: %+v", back)
+	}
+}
+
+func TestStatsResultSketchV2RoundTrip(t *testing.T) {
+	s := StatsResult{
+		RowCount:  100,
+		NDistinct: 42,
+		Version:   3,
+		Histogram: []byte{0x53, 0x48, 9, 9, 9},
+		Sketches:  [][]byte{{0x53, 0x4B, 1}, {}, {0xAA, 0xBB, 0xCC, 0xDD}},
+	}
+	enc := EncodeStatsResult(s)
+	if enc[24] != statsResultV2Marker {
+		t.Fatalf("v2 payload missing marker at offset 24: %#x", enc[24])
+	}
+	back, err := DecodeStatsResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RowCount != s.RowCount || back.NDistinct != s.NDistinct || back.Version != s.Version {
+		t.Fatalf("header drifted: %+v", back)
+	}
+	if !bytes.Equal(back.Histogram, s.Histogram) {
+		t.Fatal("histogram bytes drifted through v2")
+	}
+	if len(back.Sketches) != len(s.Sketches) {
+		t.Fatalf("sketch count %d, want %d", len(back.Sketches), len(s.Sketches))
+	}
+	for i := range s.Sketches {
+		if !bytes.Equal(back.Sketches[i], s.Sketches[i]) {
+			t.Fatalf("sketch %d drifted", i)
+		}
+	}
+}
+
+// The marker byte cannot be mistaken for a legacy histogram: hist encodings
+// open with 0x53 ("SH" magic, little-endian low byte), never 0xF2.
+func TestStatsResultLegacyHistogramNotMistakenForV2(t *testing.T) {
+	s := StatsResult{RowCount: 1, Histogram: []byte{0x53, 0x48, 0x02, 0x00}}
+	back, err := DecodeStatsResult(EncodeStatsResult(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sketches) != 0 || !bytes.Equal(back.Histogram, s.Histogram) {
+		t.Fatal("legacy histogram misparsed as v2")
+	}
+}
+
+func TestStatsResultV2RejectsCorruption(t *testing.T) {
+	valid := EncodeStatsResult(StatsResult{
+		RowCount:  5,
+		Histogram: []byte{0x53, 1, 2},
+		Sketches:  [][]byte{{9, 9}, {8}},
+	})
+	cases := map[string][]byte{
+		"truncated_after_marker": valid[:25],
+		"truncated_hist_len":     valid[:27],
+		"truncated_mid_sketch":   valid[:len(valid)-1],
+		"trailing_bytes":         append(append([]byte(nil), valid...), 0x00),
+	}
+	for name, raw := range cases {
+		if _, err := DecodeStatsResult(raw); err == nil {
+			t.Errorf("%s: corrupt v2 payload decoded without error", name)
+		}
+	}
+
+	// A claimed sketch count beyond the list cap must be rejected before any
+	// allocation happens.
+	var huge []byte
+	huge = binary.LittleEndian.AppendUint64(huge, 1)
+	huge = binary.LittleEndian.AppendUint64(huge, 1)
+	huge = binary.LittleEndian.AppendUint64(huge, 1)
+	huge = append(huge, statsResultV2Marker)
+	huge = binary.LittleEndian.AppendUint32(huge, 0)
+	huge = binary.LittleEndian.AppendUint16(huge, 0xFFFF)
+	if _, err := DecodeStatsResult(huge); err == nil {
+		t.Error("oversized sketch count decoded without error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
+	"streamhist/internal/sketch"
 	"streamhist/internal/table"
 )
 
@@ -76,6 +77,15 @@ type Config struct {
 	// observability with a no-op logger); mount obs.Handler(srv.Obs(), ...)
 	// to expose it over HTTP.
 	Obs *obs.Obs
+	// Sketch configures the daisy chain of statistic blocks each served
+	// scan's side path runs beside the Binner, so every scan refreshes NDV,
+	// heavy hitters, and a sliding-window aggregate along with the
+	// histogram. The zero spec gets sketch.DefaultChainSpec(); set
+	// SketchDisabled to turn the chain off entirely.
+	Sketch sketch.ChainSpec
+	// SketchDisabled turns the sketch chain off (the histogram side path is
+	// unaffected).
+	SketchDisabled bool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +126,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SideStallTimeout <= 0 {
 		c.SideStallTimeout = 500 * time.Millisecond
+	}
+	if c.SketchDisabled {
+		c.Sketch = sketch.ChainSpec{}
+	} else if !c.Sketch.Enabled() {
+		c.Sketch = sketch.DefaultChainSpec()
 	}
 	return c
 }
@@ -730,12 +745,17 @@ func (s *Server) handleStats(bw *bufio.Writer, req ScanRequest) error {
 	if err != nil {
 		return s.writeError(bw, fmt.Errorf("server: encoding histogram: %v", err))
 	}
+	blobs, err := sketch.EncodeBlocks(st.Sketches)
+	if err != nil {
+		return s.writeError(bw, fmt.Errorf("server: encoding sketches: %v", err))
+	}
 	s.metrics.statsServed.Add(1)
 	payload := EncodeStatsResult(StatsResult{
 		RowCount:  st.RowCount,
 		NDistinct: st.NDistinct,
 		Version:   st.Version,
 		Histogram: raw,
+		Sketches:  blobs,
 	})
 	if err := WriteFrame(bw, FrameStatsResult, payload); err != nil {
 		return err
@@ -832,6 +852,10 @@ type sidePath struct {
 	lanes []*sideLane
 	next  int // round-robin cursor, serving goroutine only
 	clock hw.Clock
+	// pageCap is the relation's rows-per-page (pages are fully packed), so
+	// lanes can turn a page index into the global row ordinal the sketch
+	// chain's position cursor needs.
+	pageCap int
 
 	// tr is the owning scan's trace; finish() appends the lane, merge, and
 	// install spans to it. Nil when tracing is off.
@@ -887,6 +911,9 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 		release: make(chan struct{}),
 		tr:      tr,
 	}
+	if imgs := entry.pageImages(); len(imgs) > 0 {
+		sp.pageCap = imgs[0].Capacity()
+	}
 	for i := range sp.lanes {
 		pre, err := core.RangeFor(meta.min, meta.max, 1)
 		if err != nil {
@@ -914,6 +941,14 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 		// property the consistency gauge checks.
 		bcfg.Prof = s.obs.Profiler()
 		bcfg.ProfLane = fmt.Sprintf("lane%d", i)
+		// Each lane runs its own sketch chain beside its binner; the chains
+		// merge with the bin state at fan-in, and a retired lane's chain is
+		// discarded with its binner. The lane injector also drives the
+		// sketch.corrupt / sketch.retire points, evaluated at page
+		// boundaries.
+		laneChain := sketch.NewChain(s.cfg.Sketch)
+		laneChain.SetFaults(linj)
+		bcfg.Sketches = laneChain
 		sp.lanes[i] = &sideLane{
 			idx:    i,
 			parser: core.NewParser(meta.spec),
@@ -1039,6 +1074,11 @@ func (sp *sidePath) run(l *sideLane) {
 				l.parseErr = err
 				break
 			}
+			// Pages are fully packed, so this page's first row ordinal is
+			// its index times the per-page capacity; repositioning the
+			// sketch cursor here keeps position-sensitive blocks exact no
+			// matter which lane the frame landed on.
+			l.binner.SetStreamPos(int64(f.pageOff+k) * int64(sp.pageCap))
 			l.binner.PushAll(vals)
 		}
 		sp.s.bufPool.Put(f.bufp)
@@ -1203,6 +1243,13 @@ func (sp *sidePath) finish() sideResult {
 	bstats.Cycles = hw.CriticalPath(laneCycles, agg)
 	comp := core.NewCompressedBlock(sp.s.cfg.TopK, sp.s.cfg.Buckets, vec.Total())
 	chain := core.NewScanner().Run(vec, comp)
+	// The merged sketch chain covers every healthy lane (retired lanes'
+	// chains were discarded with their binners). Its cycles ride the merge
+	// span beside the aggregation pass and the histogram chain, so the
+	// trace invariant — max(lane cycles) + merge cycles == AccelCycles —
+	// and the hwprof consistency gauge both keep holding with sketches on.
+	sideChain := merged.SketchChain()
+	sketchCycles := sideChain.TotalCycles()
 	if prof := sp.s.obs.Profiler(); prof != nil {
 		if agg > 0 {
 			n := prof.Node("merged", "aggregate", "fanin", hwprof.ReasonAgg)
@@ -1210,11 +1257,12 @@ func (sp *sidePath) finish() sideResult {
 			n.AddEvents(1)
 		}
 		chain.ChargeProfile(prof, "merged")
-		sp.s.metrics.hwprofAttributed.Add(agg + chain.TotalCycles)
+		sideChain.Charge(prof, "merged")
+		sp.s.metrics.hwprofAttributed.Add(agg + chain.TotalCycles + sketchCycles)
 	}
 	// The merge span is charged everything past the lanes' own binning: the
-	// fan-in aggregation pass plus the histogram chain.
-	sp.tr.End(mi, agg+chain.TotalCycles)
+	// fan-in aggregation pass, the histogram chain, and the sketch chain.
+	sp.tr.End(mi, agg+chain.TotalCycles+sketchCycles)
 	h := &hist.Histogram{
 		Kind:          hist.Compressed,
 		Buckets:       comp.Buckets(),
@@ -1224,14 +1272,21 @@ func (sp *sidePath) finish() sideResult {
 		Degraded:      degraded,
 		Skipped:       skipped,
 	}
+	if degraded {
+		// The sketches saw the same incomplete stream the histogram did;
+		// they are served, but flagged, never silently wrong.
+		sideChain.MarkDegraded()
+	}
 	ii := sp.tr.Begin("install")
 	sp.s.catalog.Put(sp.req.Table, sp.req.Column, &dbms.ColumnStats{
 		Histogram: h,
+		Sketches:  sideChain.Blocks(),
 		NDistinct: int64(vec.Cardinality()),
 		RowCount:  relRows,
 	})
 	sp.tr.End(ii, 0)
-	total := uint64(bstats.Cycles + chain.TotalCycles)
+	sp.s.publishSketch(sideChain)
+	total := uint64(bstats.Cycles + chain.TotalCycles + sketchCycles)
 	sp.s.metrics.rowsBinned.Add(bstats.Items)
 	sp.s.metrics.histRefreshed.Add(1)
 	sp.s.metrics.accelCycles.Add(int64(total))

@@ -1,0 +1,178 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog distinct-count sketch with the classic sparse→dense
+// promotion: while few registers are touched the sketch stores (index, rank)
+// pairs in a map, and once the map outgrows an eighth of the register file
+// it promotes to the dense 2^p-byte array. Register state is a pointwise
+// maximum, so merge is commutative and associative and the merged sketch is
+// byte-identical to the serial one under any lane sharding.
+type HLL struct {
+	blockBase
+	p uint8  // precision: 2^p registers
+	m uint32 // register count
+
+	sparse map[uint32]uint8 // idx → max rank; nil once dense
+	dense  []uint8
+}
+
+// hllMinPrecision..hllMaxPrecision bound the register file: 16 registers to
+// 64 Ki registers.
+const (
+	hllMinPrecision = 4
+	hllMaxPrecision = 16
+)
+
+// NewHLL returns a sketch with 2^p registers, clamping p into [4, 16].
+func NewHLL(precision int) *HLL {
+	if precision < hllMinPrecision {
+		precision = hllMinPrecision
+	}
+	if precision > hllMaxPrecision {
+		precision = hllMaxPrecision
+	}
+	return &HLL{
+		p:      uint8(precision),
+		m:      1 << precision,
+		sparse: make(map[uint32]uint8),
+	}
+}
+
+// Kind implements StatBlock.
+func (h *HLL) Kind() Kind { return KindHLL }
+
+// Name implements StatBlock.
+func (h *HLL) Name() string { return "hll" }
+
+// Precision returns p (tests, rendering).
+func (h *HLL) Precision() int { return int(h.p) }
+
+// Sparse reports whether the sketch is still in its sparse representation.
+func (h *HLL) Sparse() bool { return h.sparse != nil }
+
+// hashValue mixes a column value into 64 well-distributed bits (the
+// splitmix64 finaliser — the same mixer the fault injector's streams use).
+func hashValue(v int64) uint64 {
+	x := uint64(v) + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Push implements StatBlock. The stream position is irrelevant to a
+// distinct count; the signature is the chain's uniform contract.
+func (h *HLL) Push(_, v int64) {
+	h.items++
+	x := hashValue(v)
+	idx := uint32(x >> (64 - h.p))
+	rest := x << h.p
+	var rank uint8
+	if rest == 0 {
+		rank = uint8(64 - h.p + 1)
+	} else {
+		rank = uint8(bits.LeadingZeros64(rest)) + 1
+	}
+	h.set(idx, rank)
+}
+
+func (h *HLL) set(idx uint32, rank uint8) {
+	if h.dense != nil {
+		if rank > h.dense[idx] {
+			h.dense[idx] = rank
+		}
+		return
+	}
+	if rank > h.sparse[idx] {
+		h.sparse[idx] = rank
+	}
+	if uint32(len(h.sparse)) > h.m/8 {
+		h.promote()
+	}
+}
+
+// promote moves the sparse pairs into the dense register file.
+func (h *HLL) promote() {
+	h.dense = make([]uint8, h.m)
+	for idx, rank := range h.sparse {
+		h.dense[idx] = rank
+	}
+	h.sparse = nil
+}
+
+// register reads one register in either representation.
+func (h *HLL) register(idx uint32) uint8 {
+	if h.dense != nil {
+		return h.dense[idx]
+	}
+	return h.sparse[idx]
+}
+
+// Estimate returns the distinct-count estimate: the standard bias-corrected
+// harmonic mean, with linear counting below 2.5·m where raw HLL is biased.
+func (h *HLL) Estimate() float64 {
+	m := float64(h.m)
+	var sum float64
+	var zeros float64
+	for idx := uint32(0); idx < h.m; idx++ {
+		r := h.register(idx)
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	raw := alpha(h.m) * m * m / sum
+	if raw <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/zeros)
+	}
+	return raw
+}
+
+// alpha is the HyperLogLog bias-correction constant for m registers.
+func alpha(m uint32) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// Merge implements StatBlock: registers take the pointwise maximum, which
+// is exactly what a serial run over the union of the streams would hold.
+func (h *HLL) Merge(other StatBlock) error {
+	o, ok := other.(*HLL)
+	if !ok {
+		return fmt.Errorf("sketch: merging %s into hll", other.Kind())
+	}
+	if o.p != h.p {
+		return fmt.Errorf("sketch: merging hll precision %d into %d", o.p, h.p)
+	}
+	if o.dense != nil {
+		if h.dense == nil {
+			h.promote()
+		}
+		for idx, rank := range o.dense {
+			if rank > h.dense[idx] {
+				h.dense[idx] = rank
+			}
+		}
+	} else {
+		for idx, rank := range o.sparse {
+			h.set(idx, rank)
+		}
+	}
+	h.absorb(&o.blockBase)
+	return nil
+}

@@ -1,0 +1,175 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpaceSaving is the k-counter heavy-hitter summary (Metwally et al.): every
+// tracked value v carries an over-estimate Count with a per-entry error
+// bound, maintaining
+//
+//	f(v) ≤ Count(v) ≤ f(v) + Err(v)
+//
+// for the true frequency f, and any value with f(v) > N/k is guaranteed to
+// be tracked. Merging sums counters pairwise — a value absent from one side
+// is charged that side's minimum count into both Count and Err, since an
+// untracked value may have occurred up to min times there — then truncates
+// back to the k largest. Each side's minimum is at most N_i/k, so the merged
+// ε = N/k error bound survives (the mergeable-summaries result).
+//
+// Unlike HLL and the window, a merged SpaceSaving summary is byte-identical
+// to the serial one only when capacity covers the distinct count (then no
+// eviction ever fires and every counter is exact). In the approximate regime
+// the summary is order-sensitive and identity under resharding is
+// information-theoretically impossible — the property tests check the
+// guarantees instead, and DESIGN.md spells the distinction out.
+type SpaceSaving struct {
+	blockBase
+	k        int
+	counters map[int64]*ssCounter
+}
+
+// ssCounter is one tracked value's state.
+type ssCounter struct {
+	count int64 // over-estimate of the value's frequency
+	err   int64 // count − err is a guaranteed lower bound
+}
+
+// HeavyHitter is one reported entry.
+type HeavyHitter struct {
+	Value int64
+	// Count over-estimates the value's frequency; Count − Err is a
+	// guaranteed lower bound.
+	Count int64
+	Err   int64
+}
+
+// NewSpaceSaving returns a summary with k counters (minimum 1).
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, counters: make(map[int64]*ssCounter, k)}
+}
+
+// Kind implements StatBlock.
+func (s *SpaceSaving) Kind() Kind { return KindSpaceSaving }
+
+// Name implements StatBlock.
+func (s *SpaceSaving) Name() string { return "spacesaving" }
+
+// Capacity returns k.
+func (s *SpaceSaving) Capacity() int { return s.k }
+
+// Push implements StatBlock. A full summary evicts the minimum counter —
+// ties broken toward the largest value, so eviction is deterministic — and
+// the newcomer inherits the evicted count as its error bound.
+func (s *SpaceSaving) Push(_, v int64) {
+	s.items++
+	if c, ok := s.counters[v]; ok {
+		c.count++
+		return
+	}
+	if len(s.counters) < s.k {
+		s.counters[v] = &ssCounter{count: 1}
+		return
+	}
+	evict, minCount := int64(0), int64(-1)
+	for val, c := range s.counters {
+		if minCount < 0 || c.count < minCount || (c.count == minCount && val > evict) {
+			evict, minCount = val, c.count
+		}
+	}
+	delete(s.counters, evict)
+	s.counters[v] = &ssCounter{count: minCount + 1, err: minCount}
+}
+
+// Top returns up to n entries ordered by count descending, ties by value
+// ascending — the same deterministic order the binary encoding uses.
+func (s *SpaceSaving) Top(n int) []HeavyHitter {
+	out := make([]HeavyHitter, 0, len(s.counters))
+	for v, c := range s.counters {
+		out = append(out, HeavyHitter{Value: v, Count: c.count, Err: c.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Estimate returns the count bounds for one value. ok is false when the
+// value is untracked, in which case its true frequency is at most the
+// summary's minimum count.
+func (s *SpaceSaving) Estimate(v int64) (hh HeavyHitter, ok bool) {
+	c, ok := s.counters[v]
+	if !ok {
+		return HeavyHitter{}, false
+	}
+	return HeavyHitter{Value: v, Count: c.count, Err: c.err}, true
+}
+
+// minCount returns the summary's minimum tracked count when at capacity, or
+// 0 otherwise — the upper bound on any untracked value's true frequency.
+func (s *SpaceSaving) minCount() int64 {
+	if len(s.counters) < s.k {
+		return 0
+	}
+	min := int64(-1)
+	for _, c := range s.counters {
+		if min < 0 || c.count < min {
+			min = c.count
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Merge implements StatBlock: counters for the same value sum (counts and
+// error bounds both); a value tracked on only one side also absorbs the
+// other side's minimum count into count and error, because the value may
+// have occurred up to that many times there before being evicted — without
+// this the merged Count could undershoot the true frequency and break the
+// f ≤ Count invariant. The summary then truncates back to the k largest
+// counts, ties kept toward smaller values. When both sides are under
+// capacity the minima are zero and the merge is the exact pairwise sum.
+func (s *SpaceSaving) Merge(other StatBlock) error {
+	o, ok := other.(*SpaceSaving)
+	if !ok {
+		return fmt.Errorf("sketch: merging %s into spacesaving", other.Kind())
+	}
+	if o.k != s.k {
+		return fmt.Errorf("sketch: merging spacesaving k=%d into k=%d", o.k, s.k)
+	}
+	minS, minO := s.minCount(), o.minCount()
+	for v, c := range s.counters {
+		if _, shared := o.counters[v]; !shared {
+			c.count += minO
+			c.err += minO
+		}
+	}
+	for v, oc := range o.counters {
+		if c, exists := s.counters[v]; exists {
+			c.count += oc.count
+			c.err += oc.err
+		} else {
+			s.counters[v] = &ssCounter{count: oc.count + minS, err: oc.err + minS}
+		}
+	}
+	if len(s.counters) > s.k {
+		all := s.Top(0)
+		for _, hh := range all[s.k:] {
+			delete(s.counters, hh.Value)
+		}
+	}
+	s.absorb(&o.blockBase)
+	return nil
+}

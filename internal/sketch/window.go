@@ -1,0 +1,138 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Window is the bounded-state sliding-window aggregate: count, sum, min, and
+// max over the last W values of the stream. "Last" is defined by the global
+// stream position each Push carries, not by arrival order — the parallel
+// path delivers pages to lanes out of order (and replays retired lanes'
+// chunks late), so the block keeps the W entries with the largest positions
+// in a min-heap and evicts by position. Positions are unique per row, which
+// makes the kept set — and therefore the merged aggregate — identical to the
+// serial path's, whatever the sharding or replay interleaving.
+type Window struct {
+	blockBase
+	w    int
+	h    posHeap
+	seen bool // at least one value consumed with w > 0
+}
+
+// winEntry is one retained (position, value) pair.
+type winEntry struct {
+	pos int64
+	val int64
+}
+
+// posHeap is a min-heap on stream position.
+type posHeap []winEntry
+
+func (h posHeap) Len() int            { return len(h) }
+func (h posHeap) Less(i, j int) bool  { return h[i].pos < h[j].pos }
+func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *posHeap) Push(x any)         { *h = append(*h, x.(winEntry)) }
+func (h *posHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewWindow returns a window over the last w values. w = 0 is legal and
+// aggregates nothing (count stays 0); w larger than the stream keeps
+// everything.
+func NewWindow(w int) *Window {
+	if w < 0 {
+		w = 0
+	}
+	return &Window{w: w}
+}
+
+// Kind implements StatBlock.
+func (w *Window) Kind() Kind { return KindWindow }
+
+// Name implements StatBlock.
+func (w *Window) Name() string { return "window" }
+
+// W returns the configured window width.
+func (w *Window) W() int { return w.w }
+
+// Push implements StatBlock.
+func (w *Window) Push(pos, v int64) {
+	w.items++
+	if w.w == 0 {
+		return
+	}
+	w.seen = true
+	if len(w.h) < w.w {
+		heap.Push(&w.h, winEntry{pos: pos, val: v})
+		return
+	}
+	if pos > w.h[0].pos {
+		w.h[0] = winEntry{pos: pos, val: v}
+		heap.Fix(&w.h, 0)
+	}
+}
+
+// Aggregate is the windowed result.
+type Aggregate struct {
+	// Count is how many values the window holds (min(W, stream length)).
+	Count int64
+	Sum   int64
+	// Min and Max are only meaningful when Count > 0.
+	Min, Max int64
+}
+
+// Aggregate computes count/sum/min/max over the retained window.
+func (w *Window) Aggregate() Aggregate {
+	var a Aggregate
+	for i, e := range w.h {
+		a.Count++
+		a.Sum += e.val
+		if i == 0 || e.val < a.Min {
+			a.Min = e.val
+		}
+		if i == 0 || e.val > a.Max {
+			a.Max = e.val
+		}
+	}
+	return a
+}
+
+// entries returns the retained pairs sorted by position (serialization,
+// tests). The heap itself stays untouched.
+func (w *Window) entries() []winEntry {
+	out := make([]winEntry, len(w.h))
+	copy(out, w.h)
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(es []winEntry) {
+	// Positions are unique, so ordering by pos alone is total.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].pos < es[j-1].pos; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// Merge implements StatBlock: the union's W largest positions win, exactly
+// reproducing the serial window over the combined stream.
+func (w *Window) Merge(other StatBlock) error {
+	o, ok := other.(*Window)
+	if !ok {
+		return fmt.Errorf("sketch: merging %s into window", other.Kind())
+	}
+	if o.w != w.w {
+		return fmt.Errorf("sketch: merging window W=%d into W=%d", o.w, w.w)
+	}
+	for _, e := range o.h {
+		if len(w.h) < w.w {
+			heap.Push(&w.h, e)
+		} else if w.w > 0 && e.pos > w.h[0].pos {
+			w.h[0] = e
+			heap.Fix(&w.h, 0)
+		}
+	}
+	w.seen = w.seen || o.seen
+	w.absorb(&o.blockBase)
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
 	"streamhist/internal/page"
+	"streamhist/internal/sketch"
 	"streamhist/internal/table"
 )
 
@@ -69,6 +70,13 @@ type ParallelDataPath struct {
 	// flush, so discarded work is never charged. Nil keeps the unprofiled
 	// baseline.
 	Prof *hwprof.Profiler
+	// Sketch configures the per-lane daisy chain of statistic blocks
+	// (internal/sketch). Every lane runs its own chain over its share of the
+	// pages, tagging values with their global row ordinal, and the chains
+	// merge at fan-in alongside the bin state — so the merged sketches equal
+	// the serial DataPath's even under lane retirement and replay. The zero
+	// spec disables it (zero-cost baseline).
+	Sketch sketch.ChainSpec
 }
 
 // Profile snapshots the accumulated cycle attribution (empty when no
@@ -123,12 +131,22 @@ type ParallelScanResult struct {
 // errors.Is rather than by matching message text.
 var errInjectedLaneFault = errors.New("injected lane fault")
 
+// pageChunk is one fan-out unit: a run of consecutive pages plus the index
+// of its first page in the relation's page sequence. Pages are fully packed
+// (page.Encode), so firstPage·capacity is the global row ordinal of the
+// chunk's first value — what the sketch chain's position cursor needs to stay
+// exact no matter which lane a chunk lands on or when it is replayed.
+type pageChunk struct {
+	pages     []*page.Page
+	firstPage int
+}
+
 // lane is one shard of the side path: a private Parser and Binner consuming
 // page chunks from its own channel, under supervision.
 type lane struct {
 	parser *core.Parser
 	binner *core.Binner
-	ch     chan []*page.Page
+	ch     chan pageChunk
 	err    error // parse error or recovered panic; written before done closes
 	done   chan struct{}
 	inj    *faults.Injector
@@ -137,7 +155,7 @@ type lane struct {
 	release chan struct{}
 	// assigned records every chunk ever sent to this lane, so a retirement
 	// can replay the lane's full share.
-	assigned [][]*page.Page
+	assigned []pageChunk
 	retired  bool
 	// chClosed tracks whether the supervisor has closed ch yet; lanes
 	// retired mid-fan-out keep theirs open until cleanup.
@@ -166,20 +184,21 @@ func (l *lane) run() {
 		if l.inj.Should(faults.LaneStall) {
 			<-l.release // hold until the supervisor tears the scan down
 		}
-		for _, pg := range chunk {
+		for j, pg := range chunk.pages {
 			var err error
 			vals, err = l.parser.Feed(pg.Bytes(), vals[:0])
 			if err != nil {
 				l.err = err
 				break
 			}
+			l.binner.SetStreamPos(int64(chunk.firstPage+j) * int64(pg.Capacity()))
 			l.binner.PushAll(vals)
 		}
 	}
 }
 
 // retire marks the lane dead and hands back its full chunk share for replay.
-func (l *lane) retire() [][]*page.Page {
+func (l *lane) retire() []pageChunk {
 	l.retired = true
 	return l.assigned
 }
@@ -223,12 +242,20 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 			bcfg.Prof = d.Prof
 			bcfg.ProfLane = fmt.Sprintf("lane%d", i)
 		}
+		inj := d.Faults.Fork(fmt.Sprintf("lane%d", i))
+		// Each lane runs its own sketch chain over its share of the pages;
+		// the chains merge at fan-in via Binner.Merge. A retired lane's
+		// chain is discarded with its binner, so replayed chunks are never
+		// double counted by the sketches either.
+		laneChain := sketch.NewChain(d.Sketch)
+		laneChain.SetFaults(inj)
+		bcfg.Sketches = laneChain
 		lanes[i] = &lane{
 			parser:  core.NewParser(d.Config.Column),
 			binner:  core.NewBinner(bcfg, p),
-			ch:      make(chan []*page.Page, 4),
+			ch:      make(chan pageChunk, 4),
 			done:    make(chan struct{}),
-			inj:     d.Faults.Fork(fmt.Sprintf("lane%d", i)),
+			inj:     inj,
 			release: make(chan struct{}),
 		}
 		go lanes[i].run()
@@ -253,7 +280,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	}()
 
 	healthy := append([]*lane(nil), lanes...)
-	var pendingReplay [][]*page.Page // chunks owed to the side path
+	var pendingReplay []pageChunk // chunks owed to the side path
 	var retiredCount, replayed int
 
 	retire := func(idx int) {
@@ -267,7 +294,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	// dead (done closed early) or that refuse the chunk past the stall
 	// timeout. It reports false when no healthy lane is left.
 	next := 0
-	deliver := func(chunk []*page.Page) bool {
+	deliver := func(chunk pageChunk) bool {
 		for len(healthy) > 0 {
 			idx := next % len(healthy)
 			l := healthy[idx]
@@ -294,15 +321,15 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	pages := page.Encode(d.Rel)
 	var hostBytes int64
 	var writeErr error
-	var orphaned [][]*page.Page // chunks no lane could take
+	var orphaned []pageChunk // chunks no lane could take
 	for off := 0; off < len(pages); off += chunkPages {
 		end := off + chunkPages
 		if end > len(pages) {
 			end = len(pages)
 		}
-		chunk := pages[off:end]
+		chunk := pageChunk{pages: pages[off:end], firstPage: off}
 		if writeErr == nil {
-			for _, pg := range chunk {
+			for _, pg := range chunk.pages {
 				n, err := hostSink.Write(pg.Bytes())
 				hostBytes += int64(n)
 				if err != nil {
@@ -375,6 +402,9 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 			bcfg.Prof = d.Prof
 			bcfg.ProfLane = "inline"
 		}
+		// The inline replay lane carries a chain too, but no sketch faults:
+		// the supervisor's path is exact by construction.
+		bcfg.Sketches = sketch.NewChain(d.Sketch)
 		inline = &lane{
 			parser: core.NewParser(d.Config.Column),
 			binner: core.NewBinner(bcfg, p),
@@ -382,11 +412,12 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		var vals []int64
 		for _, chunk := range orphaned {
 			replayed++
-			for _, pg := range chunk {
+			for j, pg := range chunk.pages {
 				vals, err = inline.parser.Feed(pg.Bytes(), vals[:0])
 				if err != nil {
 					return nil, fmt.Errorf("stream: side path (inline replay): %w", err)
 				}
+				inline.binner.SetStreamPos(int64(chunk.firstPage+j) * int64(pg.Capacity()))
 				inline.binner.PushAll(vals)
 			}
 		}
@@ -415,12 +446,15 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	}
 	if len(toMerge) == 0 {
 		// Every lane retired and nothing needed replay: the relation was
-		// empty. An empty binner keeps the downstream arithmetic uniform.
+		// empty. An empty binner keeps the downstream arithmetic uniform
+		// (with an empty chain, so Results.Sketches stays shape-consistent).
 		p, err := pre()
 		if err != nil {
 			return nil, err
 		}
-		toMerge = append(toMerge, core.NewBinner(d.Config.Binner, p))
+		bcfg := d.Config.Binner
+		bcfg.Sketches = sketch.NewChain(d.Sketch)
+		toMerge = append(toMerge, core.NewBinner(bcfg, p))
 	}
 	merged := toMerge[0]
 	for _, b := range toMerge[1:] {
@@ -471,6 +505,15 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	res.TotalSeconds = d.Config.ParseLatencyMicros*1e-6 + res.BinningSeconds + res.HistogramSeconds
 	res.HostPathAddedSeconds = d.Config.Splitter.AddedLatencySeconds()
 	blocks.fill(res, vec)
+	if sc := merged.SketchChain(); sc != nil {
+		// The merged chain covers every surviving lane plus replays; like
+		// the histogram chain it is charged under the "merged" frame, so
+		// retired lanes' discarded sketch work is never attributed.
+		sc.Charge(d.Prof, "merged")
+		res.Sketches = sc.Blocks()
+		res.SketchCycles = sc.TotalCycles()
+		res.SketchSeconds = clk.Seconds(res.SketchCycles)
+	}
 
 	transfer := float64(hostBytes) / d.Link.BytesPerSec
 	rowWidth := float64(d.Rel.Schema.RowWidth())

@@ -16,6 +16,7 @@ import (
 	"streamhist/internal/hw"
 	"streamhist/internal/hwprof"
 	"streamhist/internal/page"
+	"streamhist/internal/sketch"
 	"streamhist/internal/table"
 )
 
@@ -149,6 +150,10 @@ type DataPath struct {
 	// the binner's pipeline decomposition under lane frame "lane0" and the
 	// histogram chain under "merged". Nil keeps the unprofiled baseline.
 	Prof *hwprof.Profiler
+	// Sketch configures the daisy chain of statistic blocks riding the side
+	// path (internal/sketch). The zero spec disables it — the zero-cost
+	// baseline, same as a nil Prof.
+	Sketch sketch.ChainSpec
 }
 
 // Profile snapshots the accumulated cycle attribution (empty when no
@@ -195,6 +200,10 @@ func (d *DataPath) Scan(hostSink io.Writer, readBufBytes int) (*ScanResult, erro
 		bcfg.Prof = d.Prof
 		bcfg.ProfLane = "lane0"
 	}
+	// The serial path consumes values in storage order, so the chain's own
+	// cursor (0, 1, 2, …) already IS the global row ordinal — no SetStreamPos
+	// needed.
+	bcfg.Sketches = sketch.NewChain(d.Sketch)
 	binner := core.NewBinner(bcfg, pre)
 	src := NewPagesReader(d.Rel)
 	tap := NewTap(src, d.Config.Column, binner)
@@ -226,6 +235,12 @@ func (d *DataPath) Scan(hostSink io.Writer, readBufBytes int) (*ScanResult, erro
 	res.TotalSeconds = d.Config.ParseLatencyMicros*1e-6 + res.BinningSeconds + res.HistogramSeconds
 	res.HostPathAddedSeconds = d.Config.Splitter.AddedLatencySeconds()
 	blocks.fill(res, vec)
+	if sc := binner.SketchChain(); sc != nil {
+		sc.Charge(d.Prof, "merged")
+		res.Sketches = sc.Blocks()
+		res.SketchCycles = sc.TotalCycles()
+		res.SketchSeconds = clk.Seconds(res.SketchCycles)
+	}
 
 	transfer := float64(tap.BytesRelayed()) / d.Link.BytesPerSec
 	// The link delivers rows at bytes/s ÷ rowWidth; the accelerator sees
