@@ -5,9 +5,22 @@
 
 GO ?= go
 FUZZTIME ?= 30s
-BENCHJSON ?= BENCH_PR6.json
+BENCHJSON ?= BENCH_PR7.json
 
-.PHONY: check vet build test race fuzz bench bench-json lint
+# Perf-gate settings. The gated subset is the hot-path suite (the parallel
+# data path with and without the sketch chain, plus the Table 1 binner
+# cases); the iteration budget and scheduler width are pinned so a base run
+# and a head run on the same machine are comparable, and the 5 repeats are
+# collapsed to a per-metric median by benchjson.
+PERF_BENCH ?= BenchmarkParallelDataPathSketch|BenchmarkTable1Binner
+PERF_BENCHTIME ?= 2s
+PERF_COUNT ?= 5
+PERF_GOMAXPROCS ?= 4
+PERF_OUT ?= perf_head.json
+PERF_BASE ?= perf_base.json
+PERF_HEAD ?= perf_head.json
+
+.PHONY: check vet build test race fuzz bench bench-json perf-bench perf-gate lint
 
 check: vet build race
 
@@ -38,6 +51,23 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem -run='^$$' -count=1 -timeout=60m . | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCHJSON)
+
+# perf-bench runs the gated benchmark subset under pinned conditions and
+# writes one median-collapsed benchjson artifact. Run it twice — once on the
+# merge base, once on the head, same machine — then `make perf-gate`.
+perf-bench:
+	GOMAXPROCS=$(PERF_GOMAXPROCS) $(GO) test -run='^$$' -bench='$(PERF_BENCH)' \
+		-benchmem -benchtime=$(PERF_BENCHTIME) -count=$(PERF_COUNT) -timeout=30m . \
+		| tee perf.out
+	$(GO) run ./cmd/benchjson -in perf.out -out $(PERF_OUT)
+
+# perf-gate fails on >10% same-runner throughput drop or >5% allocs/op
+# growth between two perf-bench artifacts (allocs are machine-independent;
+# the throughput gate is only sound because CI produces both files in one
+# job on one runner).
+perf-gate:
+	$(GO) run ./cmd/benchdiff -base $(PERF_BASE) -head $(PERF_HEAD) \
+		-gate-throughput -max-throughput-drop 10 -max-allocs-growth 5
 
 # lint runs staticcheck when it is installed (CI installs it; locally it is
 # optional because the repo builds with the stdlib toolchain alone).

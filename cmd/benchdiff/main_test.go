@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report fixtures")
+
+func loadFixture(t *testing.T, name string) *File {
+	t.Helper()
+	f, err := load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func gateAll() Thresholds {
+	return Thresholds{MaxThroughputDropPct: 10, MaxAllocsGrowthPct: 5, GateThroughput: true}
+}
+
+// TestDiffCleanHead: noise-level movement (−3% MB/s, +1% allocs) stays under
+// the default thresholds, and a benchmark that vanished from head is
+// reported but is not by itself a failure.
+func TestDiffCleanHead(t *testing.T) {
+	deltas, missing, failed := Diff(loadFixture(t, "base.json"), loadFixture(t, "head_ok.json"), gateAll())
+	if failed {
+		t.Fatalf("clean head failed the gate:\n%s", Report(deltas, missing, true))
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkVanished" {
+		t.Errorf("missing = %v, want [BenchmarkVanished]", missing)
+	}
+	var gated int
+	for _, d := range deltas {
+		if d.Gated {
+			gated++
+		}
+		if d.Regressed {
+			t.Errorf("unexpected regression: %+v", d)
+		}
+	}
+	// MB/s ×2 and allocs/op ×2 across the two shared benchmarks.
+	if gated != 4 {
+		t.Errorf("gated %d metrics, want 4", gated)
+	}
+}
+
+// TestDiffRegressedHead: a 15%+ nil-lane throughput drop and a tripled chain
+// allocs/op must both trip, and nothing else.
+func TestDiffRegressedHead(t *testing.T) {
+	deltas, missing, failed := Diff(loadFixture(t, "base.json"), loadFixture(t, "head_regressed.json"), gateAll())
+	if !failed {
+		t.Fatalf("regressed head passed the gate:\n%s", Report(deltas, missing, true))
+	}
+	want := map[string]string{
+		"BenchmarkParallelDataPathSketch/nil-4":   "MB/s",
+		"BenchmarkParallelDataPathSketch/chain-4": "allocs/op",
+	}
+	for _, d := range deltas {
+		if d.Regressed != (want[d.Bench] == d.Metric) {
+			t.Errorf("regression flag wrong for %s %s: %+v", d.Bench, d.Metric, d)
+		}
+	}
+}
+
+// TestDiffThroughputUngatedOffRunner: without -gate-throughput (artifacts
+// from different machines) the same 15% drop is informational only; the
+// allocs gate still applies.
+func TestDiffThroughputUngatedOffRunner(t *testing.T) {
+	th := gateAll()
+	th.GateThroughput = false
+	deltas, _, failed := Diff(loadFixture(t, "base.json"), loadFixture(t, "head_regressed.json"), th)
+	if !failed {
+		t.Fatal("allocs/op regression must fail even off-runner")
+	}
+	for _, d := range deltas {
+		if d.Metric == "MB/s" && (d.Gated || d.Regressed) {
+			t.Errorf("MB/s gated off-runner: %+v", d)
+		}
+	}
+}
+
+// TestDiffZeroBaseAllocs: allocs/op going 0 → nonzero is an unbounded
+// regression and must trip any finite threshold.
+func TestDiffZeroBaseAllocs(t *testing.T) {
+	base := &File{Benchmarks: []Benchmark{{Name: "B", Metrics: map[string]float64{"allocs/op": 0}}}}
+	head := &File{Benchmarks: []Benchmark{{Name: "B", Metrics: map[string]float64{"allocs/op": 3}}}}
+	_, _, failed := Diff(base, head, gateAll())
+	if !failed {
+		t.Fatal("0 -> 3 allocs/op did not fail")
+	}
+}
+
+// TestReportGolden pins the rendered report for the regressed fixture pair,
+// so the output CI logs show stays reviewable. Regenerate with -update.
+func TestReportGolden(t *testing.T) {
+	deltas, missing, _ := Diff(loadFixture(t, "base.json"), loadFixture(t, "head_regressed.json"), gateAll())
+	got := Report(deltas, missing, false)
+	golden := filepath.Join("testdata", "report_regressed.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

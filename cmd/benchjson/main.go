@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -59,6 +60,8 @@ func main() {
 	if len(file.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
 	}
+	collapseMedians(file)
+	deriveRatios(file)
 	enc, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -122,6 +125,87 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, true
+}
+
+// collapseMedians folds `-count=N` repeats — several result lines sharing
+// one benchmark name — into a single entry whose metrics are the per-metric
+// medians. The median is what the perf gate wants from its n≥5 repeats: one
+// descheduled outlier run cannot fake (or mask) a regression. Iterations
+// take the median too; single-run benchmarks pass through untouched.
+func collapseMedians(f *File) {
+	order := make([]string, 0, len(f.Benchmarks))
+	groups := make(map[string][]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		if _, seen := groups[b.Name]; !seen {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		m := Benchmark{Name: name, Pkg: g[0].Pkg, Metrics: make(map[string]float64)}
+		iters := make([]float64, len(g))
+		for i, b := range g {
+			iters[i] = float64(b.Iterations)
+		}
+		m.Iterations = int64(median(iters))
+		for unit := range g[0].Metrics {
+			vals := make([]float64, 0, len(g))
+			for _, b := range g {
+				if v, ok := b.Metrics[unit]; ok {
+					vals = append(vals, v)
+				}
+			}
+			m.Metrics[unit] = median(vals)
+		}
+		out = append(out, m)
+	}
+	f.Benchmarks = out
+}
+
+// median returns the middle value (mean of the middle two for even counts).
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// deriveRatios appends, for every "<name>/chain…" benchmark with an MB/s
+// reading whose "/nil" sibling also reports MB/s, a derived pseudo-benchmark
+// "<name>/chain-vs-nil…" carrying one metric, throughput-ratio: the chain
+// lane's MB/s over the nil lane's. It is the paper's zero-cost claim as a
+// single trackable number — 1.0 means the statistics ride for free — and
+// unlike raw MB/s it is meaningful across runners, so perf gates can pin it.
+func deriveRatios(f *File) {
+	byName := make(map[string]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range f.Benchmarks {
+		if !strings.Contains(b.Name, "/chain") || b.Metrics["MB/s"] <= 0 {
+			continue
+		}
+		sibling, ok := byName[strings.Replace(b.Name, "/chain", "/nil", 1)]
+		if !ok || sibling.Metrics["MB/s"] <= 0 {
+			continue
+		}
+		f.Benchmarks = append(f.Benchmarks, Benchmark{
+			Name:       strings.Replace(b.Name, "/chain", "/chain-vs-nil", 1),
+			Pkg:        b.Pkg,
+			Iterations: b.Iterations,
+			Metrics: map[string]float64{
+				"throughput-ratio": b.Metrics["MB/s"] / sibling.Metrics["MB/s"],
+			},
+		})
+	}
 }
 
 func fatal(err error) {

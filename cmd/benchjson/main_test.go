@@ -53,6 +53,67 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDeriveRatios(t *testing.T) {
+	const pair = `goos: linux
+BenchmarkParallelDataPathSketch/nil-4     100   1957272 ns/op   3200.00 MB/s   197 allocs/op
+BenchmarkParallelDataPathSketch/chain-4   100  21882377 ns/op    800.00 MB/s   265 allocs/op
+`
+	f, err := Parse(strings.NewReader(pair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deriveRatios(f)
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("expected one derived benchmark, got %d total", len(f.Benchmarks))
+	}
+	d := f.Benchmarks[2]
+	if d.Name != "BenchmarkParallelDataPathSketch/chain-vs-nil-4" {
+		t.Errorf("derived name = %q", d.Name)
+	}
+	if got := d.Metrics["throughput-ratio"]; got != 0.25 {
+		t.Errorf("throughput-ratio = %v, want 0.25", got)
+	}
+}
+
+func TestDeriveRatiosNoSibling(t *testing.T) {
+	const lone = `BenchmarkX/chain-4   10   100 ns/op   50.0 MB/s
+`
+	f, err := Parse(strings.NewReader(lone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deriveRatios(f)
+	if len(f.Benchmarks) != 1 {
+		t.Fatalf("derived a ratio without a /nil sibling: %d benchmarks", len(f.Benchmarks))
+	}
+}
+
+func TestCollapseMedians(t *testing.T) {
+	const repeats = `BenchmarkHot-4   100   300 ns/op   30.0 MB/s
+BenchmarkHot-4   110   100 ns/op   90.0 MB/s
+BenchmarkHot-4   90   200 ns/op   10.0 MB/s
+BenchmarkCold-4   5   7 ns/op
+`
+	f, err := Parse(strings.NewReader(repeats))
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapseMedians(f)
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("collapsed to %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	hot := f.Benchmarks[0]
+	if hot.Name != "BenchmarkHot-4" || hot.Iterations != 100 {
+		t.Errorf("median iterations wrong: %+v", hot)
+	}
+	if hot.Metrics["ns/op"] != 200 || hot.Metrics["MB/s"] != 30 {
+		t.Errorf("per-metric medians wrong: %v", hot.Metrics)
+	}
+	if f.Benchmarks[1].Metrics["ns/op"] != 7 {
+		t.Errorf("single-run benchmark disturbed: %+v", f.Benchmarks[1])
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	noise := `random text
 Benchmark       (sourceless header line)

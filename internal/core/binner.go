@@ -152,10 +152,13 @@ type Binner struct {
 
 	lastCommit float64
 
-	// pendingLineCommit maps a memory line to the cycle at which its most
+	// pending tracks, per memory line, the cycle at which the line's most
 	// recent write commits; used to detect RAW hazards when the cache
-	// cannot forward.
-	pendingLineCommit map[int64]float64
+	// cannot forward. For the bounded line universes real columns produce it
+	// is a flat array indexed by line (allocation-free, branch-cheap);
+	// pendingMap is the fallback for astronomically wide bin ranges.
+	pending    []float64
+	pendingMap map[int64]float64
 
 	randomPeriod float64
 	burstPeriod  float64
@@ -187,22 +190,28 @@ func NewBinner(cfg BinnerConfig, pre *Preprocessor) *Binner {
 	if cfg.PipelineCyclesPerItem == 0 {
 		cfg.PipelineCyclesPerItem = float64(hw.DefaultClockHz) / 75_000_000
 	}
-	vec := bins.FromCounts(pre.Min, pre.Divisor, make([]int64, pre.NumBins))
+	numLines := (pre.NumBins + int64(cfg.Mem.BinsPerLine) - 1) / int64(cfg.Mem.BinsPerLine)
+	scratch := getBinnerScratch()
+	vec := bins.FromCounts(pre.Min, pre.Divisor, scratch.counts(pre.NumBins))
 	var mem *hw.Memory
 	if cfg.Faults != nil {
 		mem = hw.NewMemory(int(pre.NumBins), cfg.Faults)
 		mem.SetEvents(cfg.MemEvents)
 	}
 	b := &Binner{
-		cfg:               cfg,
-		pre:               pre,
-		cache:             hw.NewCache(cfg.CacheBytes, hw.LineBytes),
-		vec:               vec,
-		mem:               mem,
-		pendingLineCommit: make(map[int64]float64),
-		randomPeriod:      float64(cfg.Clock.Hz) / float64(cfg.Mem.RandomOpsPerSec),
-		burstPeriod:       float64(cfg.Clock.Hz) / float64(cfg.Mem.BurstOpsPerSec),
-		latency:           float64(cfg.Mem.LatencyCycles),
+		cfg:          cfg,
+		pre:          pre,
+		cache:        scratch.cacheFor(cfg.CacheBytes, hw.LineBytes, numLines),
+		vec:          vec,
+		mem:          mem,
+		randomPeriod: float64(cfg.Clock.Hz) / float64(cfg.Mem.RandomOpsPerSec),
+		burstPeriod:  float64(cfg.Clock.Hz) / float64(cfg.Mem.BurstOpsPerSec),
+		latency:      float64(cfg.Mem.LatencyCycles),
+	}
+	if numLines > 0 && numLines <= maxFlatPendingLines {
+		b.pending = scratch.pendingFor(numLines)
+	} else {
+		b.pendingMap = make(map[int64]float64)
 	}
 	if cfg.Prof != nil {
 		lane := cfg.ProfLane
@@ -224,111 +233,146 @@ func (b *Binner) Push(value int64) {
 	if b.chain != nil {
 		b.chain.Push(value)
 	}
-	addr, ok := b.pre.Address(value)
-	if !ok {
-		b.stats.Dropped++
-		return
-	}
-	b.stats.Items++
+	one := [1]int64{value}
+	b.pushBatch(one[:])
+}
 
-	// Profiled runs keep a few pre-advance values around so the item's
-	// contribution to the completion cycle can be decomposed by cause; the
-	// nil-prof path pays one pointer test.
+// PushAll streams a whole column (one page chunk on the parallel path). The
+// sketch chain consumes the batch block-major, and the pipeline model runs
+// as one chunk so profiled runs pay the cause decomposition once per chunk,
+// not once per item.
+func (b *Binner) PushAll(values []int64) {
+	if b.chain != nil {
+		b.chain.PushAll(values)
+	}
+	b.pushBatch(values)
+}
+
+// pushBatch advances the pipeline model over a batch of values. Profiled
+// runs accumulate the per-cause raw sums in locals and decompose the chunk's
+// total completion-cycle advance once at the end (profile.go); the nil-prof
+// path pays one pointer test per chunk.
+func (b *Binner) pushBatch(values []int64) {
 	prof := b.prof
-	var prevCommit, opBefore, bpJump, rawStall float64
+	var prevCommit, opBefore float64
+	var issueN int64
+	var bpSum, stallSum, spikeSum float64
 	if prof != nil {
 		prevCommit = b.lastCommit
 		opBefore = b.opTime
 	}
 
-	// A new item enters the pipeline no faster than the issue rate allows,
-	// and no earlier than backpressure from the bounded FIFO in front of
-	// the memory port permits (the queue between READ and UPDATE of
-	// §5.1.2 is finite).
-	const maxBacklogCycles = 512
-	b.pipeTime += b.cfg.PipelineCyclesPerItem
-	if b.opTime-b.pipeTime > maxBacklogCycles {
-		if prof != nil {
-			bpJump = (b.opTime - maxBacklogCycles) - b.pipeTime
+	binsPerLine := int64(b.cfg.Mem.BinsPerLine)
+	for _, value := range values {
+		addr, ok := b.pre.Address(value)
+		if !ok {
+			b.stats.Dropped++
+			continue
 		}
-		b.pipeTime = b.opTime - maxBacklogCycles
-	}
+		b.stats.Items++
+		issueN++
 
-	line := addr / int64(b.cfg.Mem.BinsPerLine)
-
-	var dataReady float64
-	if b.cache.Lookup(line) {
-		// READ served by the cache: the freshest value of the line is
-		// forwarded between pipeline stages; no memory read op.
-		b.stats.CacheHits++
-		dataReady = b.pipeTime
-	} else {
-		b.stats.CacheMisses++
-		readIssue := maxf(b.pipeTime, b.opTime)
-		// Without forwarding, a read that overlaps an in-flight write to
-		// the same line must stall the pipeline until that write commits
-		// (§5.1.3).
-		if commit, busy := b.pendingLineCommit[line]; busy && commit > readIssue {
+		// A new item enters the pipeline no faster than the issue rate
+		// allows, and no earlier than backpressure from the bounded FIFO in
+		// front of the memory port permits (the queue between READ and
+		// UPDATE of §5.1.2 is finite).
+		const maxBacklogCycles = 512
+		b.pipeTime += b.cfg.PipelineCyclesPerItem
+		if b.opTime-b.pipeTime > maxBacklogCycles {
 			if prof != nil {
-				rawStall = commit - readIssue
+				bpSum += (b.opTime - maxBacklogCycles) - b.pipeTime
+				prof.bpN++
 			}
-			b.stats.StallCycles += int64(commit - readIssue)
-			b.pipeTime = commit
-			readIssue = commit
+			b.pipeTime = b.opTime - maxBacklogCycles
 		}
-		b.opTime = maxf(b.opTime, readIssue) + b.randomPeriod
-		dataReady = readIssue + b.latency
-		b.stats.MemReadOps++
-	}
 
-	// UPDATE: increment the bin (the functional effect). Under fault
-	// injection the update goes through the ECC-checked memory model and
-	// an injected latency spike stretches this item's commit.
-	var spike float64
-	if b.mem != nil {
-		spike = float64(b.mem.Increment(addr))
-	} else {
-		b.vec.AddCount(b.pre.Min+addr*b.pre.Divisor, 1)
-	}
+		line := addr / binsPerLine
 
-	// WRITE: write-through. Ops to recently touched (cached) lines go at
-	// burst rate; cold lines pay the random-access rate. The write op only
-	// consumes port bandwidth — it does not hold back reads of later
-	// items, which is what the FIFO between the stages buys.
-	period := b.randomPeriod
-	if b.cache.Contains(line) {
-		period = b.burstPeriod
+		var dataReady float64
+		if b.cache.Lookup(line) {
+			// READ served by the cache: the freshest value of the line is
+			// forwarded between pipeline stages; no memory read op.
+			b.stats.CacheHits++
+			dataReady = b.pipeTime
+		} else {
+			b.stats.CacheMisses++
+			readIssue := maxf(b.pipeTime, b.opTime)
+			// Without forwarding, a read that overlaps an in-flight write to
+			// the same line must stall the pipeline until that write commits
+			// (§5.1.3). The flat table's zero value never exceeds readIssue,
+			// so untouched lines behave exactly like absent map entries.
+			var pendingCommit float64
+			if b.pending != nil {
+				pendingCommit = b.pending[line]
+			} else {
+				pendingCommit = b.pendingMap[line]
+			}
+			if pendingCommit > readIssue {
+				if prof != nil {
+					stallSum += pendingCommit - readIssue
+					prof.stallN++
+				}
+				b.stats.StallCycles += int64(pendingCommit - readIssue)
+				b.pipeTime = pendingCommit
+				readIssue = pendingCommit
+			}
+			b.opTime = maxf(b.opTime, readIssue) + b.randomPeriod
+			dataReady = readIssue + b.latency
+			b.stats.MemReadOps++
+		}
+
+		// UPDATE: increment the bin (the functional effect). Under fault
+		// injection the update goes through the ECC-checked memory model and
+		// an injected latency spike stretches this item's commit.
+		var spike float64
+		if b.mem != nil {
+			spike = float64(b.mem.Increment(addr))
+			if prof != nil && spike > 0 {
+				spikeSum += spike
+				prof.spikeN++
+			}
+		} else {
+			b.vec.AddCount(b.pre.Min+addr*b.pre.Divisor, 1)
+		}
+
+		// WRITE: write-through. Ops to recently touched (cached) lines go at
+		// burst rate; cold lines pay the random-access rate. The write op
+		// only consumes port bandwidth — it does not hold back reads of
+		// later items, which is what the FIFO between the stages buys.
+		period := b.randomPeriod
+		if b.cache.Contains(line) {
+			period = b.burstPeriod
+		}
+		b.opTime += period
+		writeIssue := maxf(b.opTime, dataReady)
+		commit := writeIssue + b.latency + spike
+		b.stats.MemWriteOps++
+		if b.pending != nil {
+			b.pending[line] = commit
+		} else {
+			b.pendingMap[line] = commit
+		}
+		if commit > b.lastCommit {
+			b.lastCommit = commit
+		}
+		b.cache.Insert(line)
+
+		// Retire pending-commit entries lazily so the fallback map stays
+		// small (the flat table needs no retirement).
+		if b.pendingMap != nil && len(b.pendingMap) > 4*b.cache.Lines()+1024 {
+			horizon := minf(b.pipeTime, b.opTime)
+			for l, c := range b.pendingMap {
+				if c <= horizon {
+					delete(b.pendingMap, l)
+				}
+			}
+		}
 	}
-	b.opTime += period
-	writeIssue := maxf(b.opTime, dataReady)
-	commit := writeIssue + b.latency + spike
-	b.stats.MemWriteOps++
-	b.pendingLineCommit[line] = commit
-	if commit > b.lastCommit {
-		b.lastCommit = commit
-	}
-	b.cache.Insert(line)
 
 	if prof != nil {
-		prof.attribute(b.lastCommit-prevCommit, b.cfg.PipelineCyclesPerItem,
-			bpJump, rawStall, b.opTime-opBefore, spike)
-	}
-
-	// Retire pending-commit entries lazily so the map stays small.
-	if len(b.pendingLineCommit) > 4*b.cache.Lines()+1024 {
-		horizon := minf(b.pipeTime, b.opTime)
-		for l, c := range b.pendingLineCommit {
-			if c <= horizon {
-				delete(b.pendingLineCommit, l)
-			}
-		}
-	}
-}
-
-// PushAll streams a whole column.
-func (b *Binner) PushAll(values []int64) {
-	for _, v := range values {
-		b.Push(v)
+		prof.attributeChunk(b.lastCommit-prevCommit,
+			float64(issueN)*b.cfg.PipelineCyclesPerItem,
+			bpSum, stallSum, b.opTime-opBefore, spikeSum)
 	}
 }
 

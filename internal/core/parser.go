@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"streamhist/internal/page"
@@ -71,6 +72,20 @@ func NewParser(spec ColumnSpec) *Parser {
 // its state across calls, as the hardware does across clock cycles.
 func (p *Parser) Feed(chunk []byte, out []int64) ([]int64, error) {
 	colWidth := p.spec.Type.Width()
+	// Fast path: when the FSM sits at a page boundary and the chunk holds a
+	// whole page image, decode the column with a strided walk over the page
+	// buffer — zero copies into the FSM's accumulator, no per-byte loop. Any
+	// anomaly (bad magic, inconsistent geometry, a validating column type)
+	// falls back to the FSM below without consuming a byte, so error text,
+	// byte counters, and partial output stay bit-identical to the FSM's.
+	for p.state == psHeader && p.hdrFill == 0 && p.pageByte == 0 && len(chunk) >= page.Size {
+		fastOut, ok := p.fastPage(chunk[:page.Size], out, colWidth)
+		if !ok {
+			break
+		}
+		out = fastOut
+		chunk = chunk[page.Size:]
+	}
 	for _, b := range chunk {
 		p.bytes++
 		p.pageByte++
@@ -129,6 +144,47 @@ func (p *Parser) Feed(chunk []byte, out []int64) ([]int64, error) {
 		}
 	}
 	return out, nil
+}
+
+// fastPage decodes one aligned, whole page image without running the FSM.
+// It reports ok=false — having consumed nothing — whenever byte-at-a-time
+// parsing could behave differently: bad magic (the FSM raises the error),
+// geometry that walks outside the row region (the FSM's wrap-around
+// semantics apply), or a column type whose decoder can reject values
+// mid-page (DateUnpacked). On success the parser's counters advance exactly
+// as the FSM would have advanced them.
+func (p *Parser) fastPage(pg []byte, out []int64, colWidth int) ([]int64, bool) {
+	if magic := uint16(pg[0]) | uint16(pg[1])<<8; magic != page.Magic {
+		return out, false
+	}
+	rows := int(uint16(pg[2]) | uint16(pg[3])<<8)
+	rowWidth := int(uint16(pg[4]) | uint16(pg[5])<<8)
+	if rows == 0 {
+		p.bytes += page.Size // page of padding only
+		return out, true
+	}
+	if rowWidth <= 0 || page.HeaderSize+rows*rowWidth > page.Size ||
+		p.spec.Offset+colWidth > rowWidth {
+		return out, false
+	}
+	off := page.HeaderSize + p.spec.Offset
+	switch p.spec.Type {
+	case table.Int64, table.Decimal:
+		for r := 0; r < rows; r++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(pg[off:])))
+			off += rowWidth
+		}
+	case table.Date:
+		for r := 0; r < rows; r++ {
+			out = append(out, int64(int32(binary.LittleEndian.Uint32(pg[off:]))))
+			off += rowWidth
+		}
+	default:
+		return out, false
+	}
+	p.bytes += page.Size
+	p.emitted += int64(rows)
+	return out, true
 }
 
 // startRow arms the FSM for the next row of the current page.

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+
+	"streamhist/internal/hw"
+)
+
+// maxFlatPendingLines bounds the flat RAW-hazard table (8 MiB of float64s);
+// wider line universes fall back to the pending map.
+const maxFlatPendingLines = 1 << 20
+
+// binnerScratch is the reusable allocation footprint of one binner lane: the
+// bin-count row, the flat pending-commit table, and the on-chip cache model.
+// The parallel scan path builds N lanes per scan and discards all but the
+// merge survivor; recycling the rows keeps the steady-state scan loop free
+// of per-lane allocations. Rows are cleared on reuse, so a recycled lane is
+// observationally identical to a fresh one (the pooled-reuse property tests
+// compare histograms bytewise).
+type binnerScratch struct {
+	binCounts []int64
+	pending   []float64
+	cache     *hw.Cache
+}
+
+var binnerScratchPool sync.Pool
+
+// getBinnerScratch returns pooled scratch, or an empty one; the per-part
+// helpers below decide what fits the requested geometry.
+func getBinnerScratch() *binnerScratch {
+	if v := binnerScratchPool.Get(); v != nil {
+		return v.(*binnerScratch)
+	}
+	return &binnerScratch{}
+}
+
+// counts returns a zeroed bin row of length n, reusing the pooled row when
+// it is large enough.
+func (sc *binnerScratch) counts(n int64) []int64 {
+	if int64(cap(sc.binCounts)) >= n {
+		row := sc.binCounts[:n]
+		sc.binCounts = nil
+		clear(row)
+		return row
+	}
+	return make([]int64, n)
+}
+
+// pendingFor returns a zeroed flat pending-commit table for numLines lines.
+func (sc *binnerScratch) pendingFor(numLines int64) []float64 {
+	if int64(cap(sc.pending)) >= numLines {
+		t := sc.pending[:numLines]
+		sc.pending = nil
+		clear(t)
+		return t
+	}
+	return make([]float64, numLines)
+}
+
+// cacheFor returns a reset cache with the requested geometry, reusing the
+// pooled one when it matches.
+func (sc *binnerScratch) cacheFor(sizeBytes, lineBytes int, universe int64) *hw.Cache {
+	if universe > 0 && universe <= maxFlatPendingLines {
+		if c := sc.cache; c != nil && c.Lines() == sizeBytes/lineBytes && c.Universe() == universe {
+			sc.cache = nil
+			c.Reset()
+			return c
+		}
+		return hw.NewCacheFor(sizeBytes, lineBytes, universe)
+	}
+	if c := sc.cache; c != nil && c.Lines() == sizeBytes/lineBytes && c.Universe() == 0 {
+		sc.cache = nil
+		c.Reset()
+		return c
+	}
+	return hw.NewCache(sizeBytes, lineBytes)
+}
+
+// Release parks the binner's reusable state for a future lane. It must only
+// be called once the binner is provably done and private: the lane goroutine
+// joined, and neither the binner, its Finish/Vector results, nor its sketch
+// chain escaped into a scan result or catalog entry. The merge survivor of a
+// parallel scan must never be released — its vector and blocks are the scan
+// result. The sketch chain is NOT released here (its blocks may be shared by
+// a Merge adoption); call SketchChain().Release() separately under the
+// caller's aliasing guarantees. Idempotent.
+func (b *Binner) Release() {
+	if b == nil || b.cache == nil {
+		return
+	}
+	sc := &binnerScratch{pending: b.pending, cache: b.cache}
+	if b.mem == nil && b.vec != nil {
+		sc.binCounts = b.vec.Counts()
+	}
+	binnerScratchPool.Put(sc)
+	b.vec = nil
+	b.pending = nil
+	b.pendingMap = nil
+	b.cache = nil
+	b.chain = nil
+}

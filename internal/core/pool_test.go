@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"streamhist/internal/datagen"
+	"streamhist/internal/sketch"
+)
+
+func poolTestValues(n int) []int64 {
+	return datagen.Take(datagen.NewZipf(77, 0, 1<<14, 1.1, true), n)
+}
+
+// poolTestRun builds a Binner (with a sketch chain riding it) over fresh or
+// pooled scratch — whatever the pools hold — feeds it vals, and captures
+// everything observable: bin counts, completion stats, and the canonical
+// sketch encodings. The binner and chain are released afterwards, so each
+// call hands its state to the next one.
+func poolTestRun(t *testing.T, vals []int64) ([]int64, BinnerStats, [][]byte) {
+	t.Helper()
+	pre, err := RangeFor(0, 1<<14-1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBinnerConfig()
+	cfg.Sketches = sketch.NewChain(sketch.ChainSpec{NDVPrecision: 10, HeavyK: 16, WindowW: 64})
+	b := NewBinner(cfg, pre)
+	b.PushAll(vals)
+	vec, stats := b.Finish()
+	counts := append([]int64(nil), vec.Counts()...)
+	raws, err := sketch.EncodeBlocks(b.SketchChain().Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SketchChain().Release()
+	b.Release()
+	return counts, stats, raws
+}
+
+// TestBinnerReleaseReuseBitIdentical: a Binner assembled from pooled scratch
+// (bin counts, pending table, cache, sketch blocks) must be observationally
+// identical to one built from fresh allocations — same histogram, same cycle
+// accounting, byte-identical sketch encodings. The pools are a pure
+// allocation optimisation, never a semantic one.
+func TestBinnerReleaseReuseBitIdentical(t *testing.T) {
+	vals := poolTestValues(30_000)
+	wantCounts, wantStats, wantRaws := poolTestRun(t, vals)
+	for round := 0; round < 4; round++ {
+		counts, stats, raws := poolTestRun(t, vals)
+		if stats != wantStats {
+			t.Fatalf("round %d: stats drifted under pooled reuse: %+v != %+v", round, stats, wantStats)
+		}
+		for i := range wantCounts {
+			if counts[i] != wantCounts[i] {
+				t.Fatalf("round %d: bin %d count %d != %d", round, i, counts[i], wantCounts[i])
+			}
+		}
+		for i := range wantRaws {
+			if !bytes.Equal(raws[i], wantRaws[i]) {
+				t.Fatalf("round %d: sketch block %d encoding drifted under pooled reuse", round, i)
+			}
+		}
+	}
+}
+
+// TestBinnerReuseAfterAbandonedLane: a lane retired mid-chunk (injected
+// panic, stall timeout) releases a binner that was never finished — its
+// pending table half full, its cache warm, its sketch blocks partially fed.
+// The next binner built from that dirty scratch must still match a fresh one
+// exactly: reset on reuse, not reset on release, is the invariant.
+func TestBinnerReuseAfterAbandonedLane(t *testing.T) {
+	vals := poolTestValues(30_000)
+	want, wantStats, wantRaws := poolTestRun(t, vals)
+
+	// The "fault-retired" lane: feed half the stream, never Finish, release.
+	pre, err := RangeFor(0, 1<<14-1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBinnerConfig()
+	cfg.Sketches = sketch.NewChain(sketch.ChainSpec{NDVPrecision: 10, HeavyK: 16, WindowW: 64})
+	dead := NewBinner(cfg, pre)
+	dead.PushAll(vals[:len(vals)/2])
+	dead.SketchChain().Release()
+	dead.Release()
+
+	counts, stats, raws := poolTestRun(t, vals)
+	if stats != wantStats {
+		t.Fatalf("stats drifted after abandoned-lane reuse: %+v != %+v", stats, wantStats)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bin %d count %d != %d after abandoned-lane reuse", i, counts[i], want[i])
+		}
+	}
+	for i := range wantRaws {
+		if !bytes.Equal(raws[i], wantRaws[i]) {
+			t.Fatalf("sketch block %d encoding drifted after abandoned-lane reuse", i)
+		}
+	}
+}

@@ -4,9 +4,10 @@ import "streamhist/internal/hwprof"
 
 // binnerProf accumulates one lane's cycle attribution in plain local floats
 // while the lane streams, and flushes to the shared hwprof.Profiler exactly
-// once at Finish/Merge time. Keeping the per-item work on unshared fields
-// means the profiled hot path costs a pointer test plus a handful of float
-// adds, and the nil-prof path is the untouched baseline.
+// once at Finish/Merge time. The hot loop accumulates raw cause sums per
+// page chunk and decomposes them once per chunk (attributeChunk), so the
+// profiled hot path costs a pointer test plus a handful of float adds per
+// item, and the nil-prof path is the untouched baseline.
 //
 // The invariant the flush maintains: the six cycle components sum exactly
 // to the lane's own BinnerStats.Cycles (integer), so a profile snapshot can
@@ -29,23 +30,17 @@ type binnerProf struct {
 	flushed bool
 }
 
-// attribute decomposes one item's advance of the lane completion cycle
-// (delta) into causes, taking them in a fixed order until the delta is
-// used up: spike, then RAW stall, then pipeline issue, then memory-port
+// attributeChunk decomposes one page chunk's advance of the lane completion
+// cycle (delta) into causes, taking them in a fixed order until the delta
+// is used up: spike, then RAW stall, then pipeline issue, then memory-port
 // advance, then backpressure, with any remainder charged to the UPDATE
 // stage waiting on data. Taking compute before memWait makes "compute" mean
-// what the item would cost on infinitely fast memory; the remainder is the
-// read-latency tail the FIFO could not hide.
-func (bp *binnerProf) attribute(delta, issue, backpressure, stall, opAdv, spike float64) {
-	if backpressure > 0 {
-		bp.bpN++
-	}
-	if stall > 0 {
-		bp.stallN++
-	}
-	if spike > 0 {
-		bp.spikeN++
-	}
+// what the chunk would cost on infinitely fast memory; the remainder is the
+// read-latency tail the FIFO could not hide. The hot loop only sums the raw
+// per-cause cycles (pushBatch) and pays this clamped decomposition once per
+// chunk; event counts (stallN, bpN, spikeN) are incremented at the point
+// each event fires.
+func (bp *binnerProf) attributeChunk(delta, issue, backpressure, stall, opAdv, spike float64) {
 	if delta <= 0 {
 		return
 	}

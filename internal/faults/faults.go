@@ -282,6 +282,20 @@ func (in *Injector) Should(p Point) bool {
 	return false
 }
 
+// Enabled reports whether p can ever fire — its configured rate is positive
+// — without consuming a draw or counting a call. Hot paths use it to skip
+// work that only exists to make an armed fault observable (e.g. a defensive
+// copy of bytes a corruption point might damage). Nil injectors fire
+// nothing.
+func (in *Injector) Enabled(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.profile[p] > 0
+}
+
 // Intn draws a deterministic value in [0, n) from p's stream, for fault
 // parameters (which bit to flip, where to cut a frame). n must be positive.
 // A nil injector returns 0.

@@ -10,14 +10,29 @@ package hw
 // FIFO-replacement table, which matches the hardware's "items currently in
 // the pipeline" framing (the set of recently touched lines within the
 // memory-latency window).
+//
+// Two representations back the same semantics. When the caller can bound the
+// line universe (NewCacheFor), residence is a flat byte array indexed by
+// line address and the FIFO is a fixed ring — zero allocation per access,
+// the form the hot binning loop uses. Otherwise residence is a map keyed by
+// line address with the same fixed ring, so even the unbounded form never
+// reallocates in steady state.
 type Cache struct {
-	lines   int
-	order   []int64         // insertion order of resident line addresses
-	present map[int64]int64 // line address -> generation tag (for stats only)
+	lines int
+
+	// ring is the FIFO of resident line addresses, a fixed circular buffer
+	// of capacity lines; head is the oldest entry once full.
+	ring []int64
+	head int
+
+	// resident is the flat residence table (dense form); universe is its
+	// extent. present is the map fallback.
+	resident []uint8
+	universe int64
+	present  map[int64]struct{}
 
 	hits   int64
 	misses int64
-	gen    int64
 }
 
 // NewCache builds a cache holding sizeBytes worth of memory lines of
@@ -29,16 +44,37 @@ func NewCache(sizeBytes, lineBytes int) *Cache {
 	n := sizeBytes / lineBytes
 	return &Cache{
 		lines:   n,
-		present: make(map[int64]int64, n+1),
+		ring:    make([]int64, 0, n),
+		present: make(map[int64]struct{}, n+1),
 	}
+}
+
+// maxDenseUniverse bounds the flat residence table (1 MiB of bytes).
+const maxDenseUniverse = 1 << 20
+
+// NewCacheFor builds a cache like NewCache for accesses known to stay in
+// [0, universe). Small universes get the dense allocation-free residence
+// table; larger ones fall back to the map form.
+func NewCacheFor(sizeBytes, lineBytes int, universe int64) *Cache {
+	c := NewCache(sizeBytes, lineBytes)
+	if universe > 0 && universe <= maxDenseUniverse {
+		c.resident = make([]uint8, universe)
+		c.universe = universe
+		c.present = nil
+	}
+	return c
 }
 
 // Lines returns the capacity in memory lines.
 func (c *Cache) Lines() int { return c.lines }
 
+// Universe returns the dense residence extent (0 for the map form) — the
+// geometry key pooled reuse matches on.
+func (c *Cache) Universe() int64 { return c.universe }
+
 // Lookup reports whether the line is resident, counting a hit or a miss.
 func (c *Cache) Lookup(lineAddr int64) bool {
-	if _, ok := c.present[lineAddr]; ok {
+	if c.Contains(lineAddr) {
 		c.hits++
 		return true
 	}
@@ -48,6 +84,9 @@ func (c *Cache) Lookup(lineAddr int64) bool {
 
 // Contains reports residence without touching the statistics.
 func (c *Cache) Contains(lineAddr int64) bool {
+	if c.resident != nil {
+		return uint64(lineAddr) < uint64(c.universe) && c.resident[lineAddr] != 0
+	}
 	_, ok := c.present[lineAddr]
 	return ok
 }
@@ -55,22 +94,34 @@ func (c *Cache) Contains(lineAddr int64) bool {
 // Insert makes the line resident (write-through: the caller has also issued
 // the memory write). The oldest line is evicted when at capacity.
 func (c *Cache) Insert(lineAddr int64) {
-	if c.lines == 0 {
+	if c.lines == 0 || c.Contains(lineAddr) {
 		return
 	}
-	if _, ok := c.present[lineAddr]; ok {
-		c.gen++
-		c.present[lineAddr] = c.gen
+	if c.resident != nil && uint64(lineAddr) >= uint64(c.universe) {
+		// Outside the declared universe the dense table cannot track the
+		// line; treat it as uncacheable rather than corrupt the ring.
 		return
 	}
-	if len(c.order) >= c.lines {
-		evict := c.order[0]
-		c.order = c.order[1:]
-		delete(c.present, evict)
+	if len(c.ring) < c.lines {
+		c.ring = append(c.ring, lineAddr)
+	} else {
+		evict := c.ring[c.head]
+		if c.resident != nil {
+			c.resident[evict] = 0
+		} else {
+			delete(c.present, evict)
+		}
+		c.ring[c.head] = lineAddr
+		c.head++
+		if c.head == c.lines {
+			c.head = 0
+		}
 	}
-	c.order = append(c.order, lineAddr)
-	c.gen++
-	c.present[lineAddr] = c.gen
+	if c.resident != nil {
+		c.resident[lineAddr] = 1
+	} else {
+		c.present[lineAddr] = struct{}{}
+	}
 }
 
 // Hits returns the number of lookup hits so far.
@@ -88,9 +139,17 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.hits) / float64(t)
 }
 
-// Reset clears contents and statistics.
+// Reset clears contents and statistics, keeping the backing storage — a
+// reset cache is indistinguishable from a new one with the same geometry.
 func (c *Cache) Reset() {
-	c.order = c.order[:0]
-	c.present = make(map[int64]int64, c.lines+1)
-	c.hits, c.misses, c.gen = 0, 0, 0
+	if c.resident != nil {
+		for _, line := range c.ring {
+			c.resident[line] = 0
+		}
+	} else {
+		clear(c.present)
+	}
+	c.ring = c.ring[:0]
+	c.head = 0
+	c.hits, c.misses = 0, 0
 }

@@ -828,6 +828,9 @@ type sideLane struct {
 
 	// dead is the serving goroutine's view: stop feeding this lane.
 	dead bool
+	// joined records that stop() observed the lane goroutine exit, so the
+	// lane's state is quiescent and may be recycled.
+	joined bool
 }
 
 // sidePath is one scan's splitter copy: frames are duplicated and dealt
@@ -856,6 +859,13 @@ type sidePath struct {
 	// lanes can turn a page index into the global row ordinal the sketch
 	// chain's position cursor needs.
 	pageCap int
+	// pages are the relation's stable page images. When zeroCopy is set (no
+	// corruption or truncation fault points armed for this scan), the wire
+	// frame is byte-identical to these images, so lanes parse them directly
+	// instead of a copied side buffer — the splitter aliases the verified
+	// page buffer rather than duplicating it.
+	pages    []*page.Page
+	zeroCopy bool
 
 	// tr is the owning scan's trace; finish() appends the lane, merge, and
 	// install spans to it. Nil when tracing is off.
@@ -911,9 +921,14 @@ func (s *Server) startSidePath(entry *tableEntry, req ScanRequest, meta colMeta,
 		release: make(chan struct{}),
 		tr:      tr,
 	}
-	if imgs := entry.pageImages(); len(imgs) > 0 {
-		sp.pageCap = imgs[0].Capacity()
+	sp.pages = entry.pageImages()
+	if len(sp.pages) > 0 {
+		sp.pageCap = sp.pages[0].Capacity()
 	}
+	// The only ways a side copy can differ from the stable page images are
+	// the in-flight corruption and truncation points; with neither armed the
+	// copy is provably redundant and the lanes alias the images instead.
+	sp.zeroCopy = !inj.Enabled(faults.PageCorrupt) && !inj.Enabled(faults.PageTruncate)
 	for i := range sp.lanes {
 		pre, err := core.RangeFor(meta.min, meta.max, 1)
 		if err != nil {
@@ -977,15 +992,24 @@ func (sp *sidePath) feed(b []byte, pageOff int, inj *faults.Injector) {
 		return // watchdog fired: the side path is already forfeit
 	}
 	intended := len(b) / page.Size
-	if inj.Should(faults.PageTruncate) {
-		// Injected short copy: the splitter's DMA slipped and the side
-		// buffer holds only a prefix of the frame. The wire already
-		// carried the full bytes; only the statistic's copy is short.
-		b = b[:inj.Intn(faults.PageTruncate, int64(len(b)))]
+	var f sideFrame
+	if sp.zeroCopy {
+		// No fault point can shorten or damage the side copy, so the frame
+		// bytes are provably identical to the relation's stable page images
+		// and the copy is skipped: the frame carries only its page window and
+		// the lane parses the images in place.
+		f = sideFrame{pageOff: pageOff, intended: intended}
+	} else {
+		if inj.Should(faults.PageTruncate) {
+			// Injected short copy: the splitter's DMA slipped and the side
+			// buffer holds only a prefix of the frame. The wire already
+			// carried the full bytes; only the statistic's copy is short.
+			b = b[:inj.Intn(faults.PageTruncate, int64(len(b)))]
+		}
+		bufp := sp.s.bufPool.Get().(*[]byte)
+		*bufp = append((*bufp)[:0], b...)
+		f = sideFrame{bufp: bufp, pageOff: pageOff, intended: intended}
 	}
-	bufp := sp.s.bufPool.Get().(*[]byte)
-	*bufp = append((*bufp)[:0], b...)
-	f := sideFrame{bufp: bufp, pageOff: pageOff, intended: intended}
 
 	for tries := 0; tries < len(sp.lanes); tries++ {
 		l := sp.lanes[sp.next]
@@ -1015,7 +1039,15 @@ func (sp *sidePath) feed(b []byte, pageOff int, inj *faults.Injector) {
 	}
 	// No lane took it: the side path loses this frame's rows, and says so.
 	sp.framesLost = true
-	sp.s.bufPool.Put(bufp)
+	sp.putBuf(f)
+}
+
+// putBuf returns a frame's side buffer to the pool; zero-copy frames carry
+// none.
+func (sp *sidePath) putBuf(f sideFrame) {
+	if f.bufp != nil {
+		sp.s.bufPool.Put(f.bufp)
+	}
 }
 
 func (sp *sidePath) retireLane(l *sideLane) {
@@ -1042,28 +1074,38 @@ func (sp *sidePath) run(l *sideLane) {
 	var vals []int64
 	for f := range l.ch {
 		if l.faulted || l.parseErr != nil || sp.cancelled.Load() {
-			sp.s.bufPool.Put(f.bufp)
+			sp.putBuf(f)
 			continue // drain only: fail open, never block the feeder
 		}
 		if l.inj.Should(faults.LanePanic) {
-			sp.s.bufPool.Put(f.bufp)
+			sp.putBuf(f)
 			panic("injected side-lane fault")
 		}
 		if l.inj.Should(faults.LaneStall) {
 			l.faulted = true
-			sp.s.bufPool.Put(f.bufp)
+			sp.putBuf(f)
 			<-sp.release // hold until teardown, then drain
 			continue
 		}
-		buf := *f.bufp
-		whole := len(buf) / page.Size
+		var buf []byte
+		whole := f.intended
+		if f.bufp != nil {
+			buf = *f.bufp
+			whole = len(buf) / page.Size
+		}
 		for k := 0; k < f.intended; k++ {
-			if k >= whole {
+			if k >= whole || (buf == nil && f.pageOff+k >= len(sp.pages)) {
 				// Truncated away: the page never reached the side buffer.
 				l.quarantined++
 				continue
 			}
-			img := buf[k*page.Size : (k+1)*page.Size]
+			var img []byte
+			if buf != nil {
+				img = buf[k*page.Size : (k+1)*page.Size]
+			} else {
+				// Zero-copy frame: the verified, immutable page image itself.
+				img = sp.pages[f.pageOff+k].Bytes()
+			}
 			if page.Checksum(img) != sp.sums[f.pageOff+k] {
 				l.quarantined++
 				continue
@@ -1081,7 +1123,7 @@ func (sp *sidePath) run(l *sideLane) {
 			l.binner.SetStreamPos(int64(f.pageOff+k) * int64(sp.pageCap))
 			l.binner.PushAll(vals)
 		}
-		sp.s.bufPool.Put(f.bufp)
+		sp.putBuf(f)
 	}
 }
 
@@ -1106,6 +1148,7 @@ func (sp *sidePath) stop() {
 	for _, l := range sp.lanes {
 		select {
 		case <-l.done:
+			l.joined = true
 		case <-deadline.C:
 			// The lane is wedged past the drain deadline. Its goroutine
 			// can only be blocked on the (now closed) release channel or
@@ -1125,6 +1168,18 @@ func (sp *sidePath) stop() {
 	}
 	sp.s.metrics.pagesQuarantined.Add(sp.quarantinedPages)
 	sp.s.metrics.lanesRetired.Add(int64(sp.retired))
+	// A retired lane that did join is quiescent and its partial state is
+	// discarded by construction (only healthy lanes merge into the installed
+	// result), so its binner scratch and sketch chain go back to the pools.
+	// A lane that missed the drain deadline may still be running and keeps
+	// its state — the pools never see memory a goroutine could touch.
+	for _, l := range sp.lanes {
+		if l.dead && l.joined && l.binner != nil {
+			l.binner.SketchChain().Release()
+			l.binner.Release()
+			l.binner = nil
+		}
+	}
 	<-sp.s.drainSem
 }
 
@@ -1298,6 +1353,17 @@ func (sp *sidePath) finish() sideResult {
 	res.cycles = total
 	res.seconds = sp.clock.Seconds(int64(total))
 	res.skippedTuples = uint64(skipped)
+
+	// The merged-away lanes folded everything they knew into the survivor,
+	// whose chain blocks now live in the catalog; their own scratch returns
+	// to the pools. The survivor is never recycled — the install owns it.
+	for _, l := range healthy[1:] {
+		if sc := l.binner.SketchChain(); sc != sideChain {
+			sc.Release()
+		}
+		l.binner.Release()
+		l.binner = nil
+	}
 	return res
 }
 

@@ -19,6 +19,9 @@ type HLL struct {
 
 	sparse map[uint32]uint8 // idx → max rank; nil once dense
 	dense  []uint8
+	// denseSpare is a retired register file kept across pooled reuse so a
+	// re-promoted sketch does not reallocate (see pool.go).
+	denseSpare []uint8
 }
 
 // hllMinPrecision..hllMaxPrecision bound the register file: 16 registers to
@@ -28,18 +31,24 @@ const (
 	hllMaxPrecision = 16
 )
 
-// NewHLL returns a sketch with 2^p registers, clamping p into [4, 16].
-func NewHLL(precision int) *HLL {
+// clampPrecision bounds p into [hllMinPrecision, hllMaxPrecision].
+func clampPrecision(precision int) int {
 	if precision < hllMinPrecision {
 		precision = hllMinPrecision
 	}
 	if precision > hllMaxPrecision {
 		precision = hllMaxPrecision
 	}
+	return precision
+}
+
+// NewHLL returns a sketch with 2^p registers, clamping p into [4, 16].
+func NewHLL(precision int) *HLL {
+	precision = clampPrecision(precision)
 	return &HLL{
 		p:      uint8(precision),
 		m:      1 << precision,
-		sparse: make(map[uint32]uint8),
+		sparse: make(map[uint32]uint8, 1<<precision/8+1),
 	}
 }
 
@@ -71,6 +80,19 @@ func hashValue(v int64) uint64 {
 // distinct count; the signature is the chain's uniform contract.
 func (h *HLL) Push(_, v int64) {
 	h.items++
+	h.observe(v)
+}
+
+// PushBatch implements StatBlock. The position argument is irrelevant to a
+// distinct count.
+func (h *HLL) PushBatch(_ int64, vals []int64) {
+	h.items += int64(len(vals))
+	for _, v := range vals {
+		h.observe(v)
+	}
+}
+
+func (h *HLL) observe(v int64) {
 	x := hashValue(v)
 	idx := uint32(x >> (64 - h.p))
 	rest := x << h.p
@@ -98,9 +120,16 @@ func (h *HLL) set(idx uint32, rank uint8) {
 	}
 }
 
-// promote moves the sparse pairs into the dense register file.
+// promote moves the sparse pairs into the dense register file, reusing a
+// pooled spare file when one is available.
 func (h *HLL) promote() {
-	h.dense = make([]uint8, h.m)
+	if uint32(len(h.denseSpare)) == h.m {
+		h.dense = h.denseSpare
+		h.denseSpare = nil
+		clear(h.dense)
+	} else {
+		h.dense = make([]uint8, h.m)
+	}
 	for idx, rank := range h.sparse {
 		h.dense[idx] = rank
 	}

@@ -294,11 +294,11 @@ func decodeSpaceSaving(d *decoder) *SpaceSaving {
 			d.fail("spacesaving counter out of range")
 			break
 		}
-		if _, dup := s.counters[v]; dup {
+		if _, dup := s.index[v]; dup {
 			d.fail("spacesaving duplicate value")
 			break
 		}
-		s.counters[v] = &ssCounter{count: count, err: errBound}
+		s.insertRaw(v, count, errBound)
 	}
 	return s
 }

@@ -73,6 +73,10 @@ type StatBlock interface {
 	Name() string
 	// Push consumes one value at global stream position pos.
 	Push(pos, v int64)
+	// PushBatch consumes len(vals) values at consecutive stream positions
+	// pos, pos+1, …; it is the hot-path form (one devirtualised call per
+	// page chunk instead of an interface dispatch per value).
+	PushBatch(pos int64, vals []int64)
 	// Merge folds another block of the same kind into this one. The other
 	// block must not be pushed to afterwards.
 	Merge(other StatBlock) error
@@ -181,19 +185,19 @@ func NewChain(spec ChainSpec) *Chain {
 	}
 	if spec.NDVPrecision > 0 {
 		c.slots = append(c.slots, chainSlot{
-			block: NewHLL(spec.NDVPrecision),
+			block: pooledHLL(spec.NDVPrecision),
 			cpv:   cpv(spec.NDVCyclesPerValue, DefaultHLLCyclesPerValue),
 		})
 	}
 	if spec.HeavyK > 0 {
 		c.slots = append(c.slots, chainSlot{
-			block: NewSpaceSaving(spec.HeavyK),
+			block: pooledSpaceSaving(spec.HeavyK),
 			cpv:   cpv(spec.HeavyCyclesPerValue, DefaultHeavyCyclesPerValue),
 		})
 	}
 	if spec.WindowW > 0 {
 		c.slots = append(c.slots, chainSlot{
-			block: NewWindow(spec.WindowW),
+			block: pooledWindow(spec.WindowW),
 			cpv:   cpv(spec.WindowCyclesPerValue, DefaultWindowCyclesPerValue),
 		})
 	}
@@ -255,14 +259,34 @@ func (c *Chain) Push(v int64) {
 	c.pos++
 }
 
-// PushAll feeds a batch of values.
+// PushAll feeds a batch of values at consecutive stream positions,
+// block-major: each live block consumes the whole batch in one call instead
+// of paying a slot walk and an interface dispatch per value.
 func (c *Chain) PushAll(vals []int64) {
+	if c == nil || len(vals) == 0 {
+		return
+	}
+	for i := range c.slots {
+		if !c.slots[i].retired {
+			c.slots[i].block.PushBatch(c.pos, vals)
+		}
+	}
+	c.pos += int64(len(vals))
+}
+
+// Release returns every block's state to the package pools for a future
+// chain to reuse (pool.go). The chain must not be used afterwards, and
+// Release must never be called on a chain whose Blocks() escaped — catalog
+// entries and scan results keep the blocks alive.
+func (c *Chain) Release() {
 	if c == nil {
 		return
 	}
-	for _, v := range vals {
-		c.Push(v)
+	for i := range c.slots {
+		releaseBlock(c.slots[i].block)
+		c.slots[i] = chainSlot{}
 	}
+	c.slots = nil
 }
 
 // Merge folds another lane's chain into this one, blockwise. Both chains

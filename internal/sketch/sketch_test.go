@@ -268,8 +268,8 @@ func TestSpaceSavingMergePreservesGuarantee(t *testing.T) {
 	if merged.Items() != 40_000 {
 		t.Fatalf("merged items = %d", merged.Items())
 	}
-	if len(merged.counters) > merged.k {
-		t.Fatalf("merge left %d counters, capacity %d", len(merged.counters), merged.k)
+	if len(merged.entries) > merged.k {
+		t.Fatalf("merge left %d counters, capacity %d", len(merged.entries), merged.k)
 	}
 	for _, hh := range merged.Top(0) {
 		f := truth[hh.Value]

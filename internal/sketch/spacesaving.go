@@ -24,14 +24,20 @@ import (
 // the summary is order-sensitive and identity under resharding is
 // information-theoretically impossible — the property tests check the
 // guarantees instead, and DESIGN.md spells the distinction out.
+//
+// The k counters live in a flat entries arena indexed by a value→slot map:
+// the steady state (hits and evictions alike) recycles slots in place and
+// never allocates, which is what lets the summary ride the hot side path.
 type SpaceSaving struct {
 	blockBase
-	k        int
-	counters map[int64]*ssCounter
+	k       int
+	entries []ssEntry
+	index   map[int64]int32 // value → index into entries
 }
 
-// ssCounter is one tracked value's state.
-type ssCounter struct {
+// ssEntry is one tracked value's state, stored in the arena.
+type ssEntry struct {
+	val   int64
 	count int64 // over-estimate of the value's frequency
 	err   int64 // count − err is a guaranteed lower bound
 }
@@ -50,7 +56,11 @@ func NewSpaceSaving(k int) *SpaceSaving {
 	if k < 1 {
 		k = 1
 	}
-	return &SpaceSaving{k: k, counters: make(map[int64]*ssCounter, k)}
+	return &SpaceSaving{
+		k:       k,
+		entries: make([]ssEntry, 0, k),
+		index:   make(map[int64]int32, k),
+	}
 }
 
 // Kind implements StatBlock.
@@ -67,30 +77,61 @@ func (s *SpaceSaving) Capacity() int { return s.k }
 // the newcomer inherits the evicted count as its error bound.
 func (s *SpaceSaving) Push(_, v int64) {
 	s.items++
-	if c, ok := s.counters[v]; ok {
-		c.count++
+	if i, ok := s.index[v]; ok {
+		s.entries[i].count++
 		return
 	}
-	if len(s.counters) < s.k {
-		s.counters[v] = &ssCounter{count: 1}
+	s.admit(v)
+}
+
+// PushBatch implements StatBlock.
+func (s *SpaceSaving) PushBatch(_ int64, vals []int64) {
+	s.items += int64(len(vals))
+	for _, v := range vals {
+		if i, ok := s.index[v]; ok {
+			s.entries[i].count++
+			continue
+		}
+		s.admit(v)
+	}
+}
+
+// admit tracks a previously-unseen value, evicting the minimum counter when
+// the summary is full. The evicted slot is recycled in place — no
+// allocation on the steady-state path.
+func (s *SpaceSaving) admit(v int64) {
+	if len(s.entries) < s.k {
+		s.index[v] = int32(len(s.entries))
+		s.entries = append(s.entries, ssEntry{val: v, count: 1})
 		return
 	}
-	evict, minCount := int64(0), int64(-1)
-	for val, c := range s.counters {
-		if minCount < 0 || c.count < minCount || (c.count == minCount && val > evict) {
-			evict, minCount = val, c.count
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		e, m := &s.entries[i], &s.entries[min]
+		if e.count < m.count || (e.count == m.count && e.val > m.val) {
+			min = i
 		}
 	}
-	delete(s.counters, evict)
-	s.counters[v] = &ssCounter{count: minCount + 1, err: minCount}
+	minCount := s.entries[min].count
+	delete(s.index, s.entries[min].val)
+	s.entries[min] = ssEntry{val: v, count: minCount + 1, err: minCount}
+	s.index[v] = int32(min)
+}
+
+// insertRaw installs a counter verbatim (merge spill, decode). Unlike admit
+// it may grow the arena past k; Merge truncates afterwards.
+func (s *SpaceSaving) insertRaw(v, count, errBound int64) {
+	s.index[v] = int32(len(s.entries))
+	s.entries = append(s.entries, ssEntry{val: v, count: count, err: errBound})
 }
 
 // Top returns up to n entries ordered by count descending, ties by value
 // ascending — the same deterministic order the binary encoding uses.
 func (s *SpaceSaving) Top(n int) []HeavyHitter {
-	out := make([]HeavyHitter, 0, len(s.counters))
-	for v, c := range s.counters {
-		out = append(out, HeavyHitter{Value: v, Count: c.count, Err: c.err})
+	out := make([]HeavyHitter, 0, len(s.entries))
+	for i := range s.entries {
+		e := &s.entries[i]
+		out = append(out, HeavyHitter{Value: e.val, Count: e.count, Err: e.err})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -108,23 +149,24 @@ func (s *SpaceSaving) Top(n int) []HeavyHitter {
 // value is untracked, in which case its true frequency is at most the
 // summary's minimum count.
 func (s *SpaceSaving) Estimate(v int64) (hh HeavyHitter, ok bool) {
-	c, ok := s.counters[v]
+	i, ok := s.index[v]
 	if !ok {
 		return HeavyHitter{}, false
 	}
-	return HeavyHitter{Value: v, Count: c.count, Err: c.err}, true
+	e := &s.entries[i]
+	return HeavyHitter{Value: e.val, Count: e.count, Err: e.err}, true
 }
 
 // minCount returns the summary's minimum tracked count when at capacity, or
 // 0 otherwise — the upper bound on any untracked value's true frequency.
 func (s *SpaceSaving) minCount() int64 {
-	if len(s.counters) < s.k {
+	if len(s.entries) < s.k {
 		return 0
 	}
 	min := int64(-1)
-	for _, c := range s.counters {
-		if min < 0 || c.count < min {
-			min = c.count
+	for i := range s.entries {
+		if min < 0 || s.entries[i].count < min {
+			min = s.entries[i].count
 		}
 	}
 	if min < 0 {
@@ -150,24 +192,28 @@ func (s *SpaceSaving) Merge(other StatBlock) error {
 		return fmt.Errorf("sketch: merging spacesaving k=%d into k=%d", o.k, s.k)
 	}
 	minS, minO := s.minCount(), o.minCount()
-	for v, c := range s.counters {
-		if _, shared := o.counters[v]; !shared {
-			c.count += minO
-			c.err += minO
+	for i := range s.entries {
+		e := &s.entries[i]
+		if _, shared := o.index[e.val]; !shared {
+			e.count += minO
+			e.err += minO
 		}
 	}
-	for v, oc := range o.counters {
-		if c, exists := s.counters[v]; exists {
-			c.count += oc.count
-			c.err += oc.err
+	for j := range o.entries {
+		oe := &o.entries[j]
+		if i, exists := s.index[oe.val]; exists {
+			s.entries[i].count += oe.count
+			s.entries[i].err += oe.err
 		} else {
-			s.counters[v] = &ssCounter{count: oc.count + minS, err: oc.err + minS}
+			s.insertRaw(oe.val, oe.count+minS, oe.err+minS)
 		}
 	}
-	if len(s.counters) > s.k {
+	if len(s.entries) > s.k {
 		all := s.Top(0)
-		for _, hh := range all[s.k:] {
-			delete(s.counters, hh.Value)
+		s.entries = s.entries[:0]
+		clear(s.index)
+		for _, hh := range all[:s.k] {
+			s.insertRaw(hh.Value, hh.Count, hh.Err)
 		}
 	}
 	s.absorb(&o.blockBase)

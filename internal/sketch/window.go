@@ -1,7 +1,6 @@
 package sketch
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -26,14 +25,22 @@ type winEntry struct {
 	val int64
 }
 
-// posHeap is a min-heap on stream position.
+// posHeap is a min-heap on stream position, maintained by the hand-rolled
+// siftUp/siftDown below: container/heap would box every winEntry through an
+// interface value, and the window's Push is on the side path's hot loop.
 type posHeap []winEntry
 
-func (h posHeap) Len() int            { return len(h) }
-func (h posHeap) Less(i, j int) bool  { return h[i].pos < h[j].pos }
-func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *posHeap) Push(x any)         { *h = append(*h, x.(winEntry)) }
-func (h *posHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+// siftUp restores the min-heap property after appending at index i.
+func siftUp(h posHeap, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].pos <= h[i].pos {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
 // NewWindow returns a window over the last w values. w = 0 is legal and
 // aggregates nothing (count stays 0); w larger than the stream keeps
@@ -61,13 +68,31 @@ func (w *Window) Push(pos, v int64) {
 		return
 	}
 	w.seen = true
+	w.push1(pos, v)
+}
+
+// PushBatch implements StatBlock: value i carries position pos+i.
+func (w *Window) PushBatch(pos int64, vals []int64) {
+	w.items += int64(len(vals))
+	if w.w == 0 || len(vals) == 0 {
+		return
+	}
+	w.seen = true
+	for _, v := range vals {
+		w.push1(pos, v)
+		pos++
+	}
+}
+
+func (w *Window) push1(pos, v int64) {
 	if len(w.h) < w.w {
-		heap.Push(&w.h, winEntry{pos: pos, val: v})
+		w.h = append(w.h, winEntry{pos: pos, val: v})
+		siftUp(w.h, len(w.h)-1)
 		return
 	}
 	if pos > w.h[0].pos {
 		w.h[0] = winEntry{pos: pos, val: v}
-		heap.Fix(&w.h, 0)
+		siftDown(w.h, 0)
 	}
 }
 
@@ -124,12 +149,9 @@ func (w *Window) Merge(other StatBlock) error {
 	if o.w != w.w {
 		return fmt.Errorf("sketch: merging window W=%d into W=%d", o.w, w.w)
 	}
-	for _, e := range o.h {
-		if len(w.h) < w.w {
-			heap.Push(&w.h, e)
-		} else if w.w > 0 && e.pos > w.h[0].pos {
-			w.h[0] = e
-			heap.Fix(&w.h, 0)
+	if w.w > 0 {
+		for _, e := range o.h {
+			w.push1(e.pos, e.val)
 		}
 	}
 	w.seen = w.seen || o.seen

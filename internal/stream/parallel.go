@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"streamhist/internal/bins"
@@ -77,6 +78,30 @@ type ParallelDataPath struct {
 	// the serial DataPath's even under lane retirement and replay. The zero
 	// spec disables it (zero-cost baseline).
 	Sketch sketch.ChainSpec
+
+	// pageCache holds the relation's encoded page images across scans: the
+	// pages model the immutable on-disk relation, so re-encoding them every
+	// scan is pure overhead on the host path. Guarded for concurrent Scans.
+	pageCacheMu sync.Mutex
+	pageCache   []*page.Page
+}
+
+// encodedPages returns the relation's page images, encoding them on first
+// use and reusing the cache afterwards.
+func (d *ParallelDataPath) encodedPages() []*page.Page {
+	d.pageCacheMu.Lock()
+	defer d.pageCacheMu.Unlock()
+	if d.pageCache == nil {
+		d.pageCache = page.Encode(d.Rel)
+	}
+	return d.pageCache
+}
+
+// InvalidatePages drops the cached page images; call after mutating Rel.
+func (d *ParallelDataPath) InvalidatePages() {
+	d.pageCacheMu.Lock()
+	d.pageCache = nil
+	d.pageCacheMu.Unlock()
 }
 
 // Profile snapshots the accumulated cycle attribution (empty when no
@@ -260,6 +285,11 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		}
 		go lanes[i].run()
 	}
+	// survivor is the binner whose Finish results escape into the scan
+	// result; every other lane's state is recycled once its goroutine joins.
+	// inline is declared here so the cleanup below can see the replay lane.
+	var survivor *core.Binner
+	var inline *lane
 	defer func() {
 		// Unblock any injected stalls, close the channels of lanes retired
 		// mid-fan-out (their goroutines resume on release and must see EOF,
@@ -277,6 +307,24 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		for _, l := range lanes {
 			<-l.done
 		}
+		// Every goroutine is joined, so the non-surviving lanes' state is
+		// provably private: park it for the next scan. The survivor's vector
+		// and sketch blocks are the scan result and are never recycled; nor
+		// is a chain the survivor adopted wholesale during Merge (the
+		// pointer comparison below catches the adoption case).
+		recycle := func(l *lane) {
+			if l == nil || l.binner == nil || l.binner == survivor {
+				return
+			}
+			if sc := l.binner.SketchChain(); sc != nil && (survivor == nil || sc != survivor.SketchChain()) {
+				sc.Release()
+			}
+			l.binner.Release()
+		}
+		for _, l := range lanes {
+			recycle(l)
+		}
+		recycle(inline)
 	}()
 
 	healthy := append([]*lane(nil), lanes...)
@@ -298,6 +346,19 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		for len(healthy) > 0 {
 			idx := next % len(healthy)
 			l := healthy[idx]
+			// Fast path: a keeping-up lane has buffer space, so the send
+			// succeeds without arming a timer (one allocation per chunk
+			// otherwise). The timer only exists while the lane is suspect.
+			select {
+			case l.ch <- chunk:
+				l.assigned = append(l.assigned, chunk)
+				next++
+				return true
+			case <-l.done:
+				retire(idx)
+				continue
+			default:
+			}
 			timer := time.NewTimer(stallTimeout)
 			select {
 			case l.ch <- chunk:
@@ -318,7 +379,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	// Fan out: the host gets every byte in storage order; lanes get whole
 	// pages round-robin, chunked to amortise channel traffic. The host copy
 	// always runs first and never waits on the side path.
-	pages := page.Encode(d.Rel)
+	pages := d.encodedPages()
 	var hostBytes int64
 	var writeErr error
 	var orphaned []pageChunk // chunks no lane could take
@@ -391,7 +452,6 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	// inline path has no lane faults by construction, so the scan always
 	// terminates with an exact side-path view.
 	orphaned = append(orphaned, pendingReplay...)
-	var inline *lane
 	if len(orphaned) > 0 {
 		p, err := pre()
 		if err != nil {
@@ -462,6 +522,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 			return nil, fmt.Errorf("stream: lane merge: %w", err)
 		}
 	}
+	survivor = merged
 	vec, mstats := merged.Finish()
 
 	if d.SelfCheck && mstats.BinsQuarantined == 0 {

@@ -10,6 +10,7 @@ package stream
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"streamhist/internal/core"
 	"streamhist/internal/hist"
@@ -154,6 +155,28 @@ type DataPath struct {
 	// path (internal/sketch). The zero spec disables it — the zero-cost
 	// baseline, same as a nil Prof.
 	Sketch sketch.ChainSpec
+
+	// pageCache holds the relation's encoded page images across scans (the
+	// relation is immutable while scans run). Guarded for concurrent Scans.
+	pageCacheMu sync.Mutex
+	pageCache   []*page.Page
+}
+
+// encodedPages returns the relation's page images, encoding on first use.
+func (d *DataPath) encodedPages() []*page.Page {
+	d.pageCacheMu.Lock()
+	defer d.pageCacheMu.Unlock()
+	if d.pageCache == nil {
+		d.pageCache = page.Encode(d.Rel)
+	}
+	return d.pageCache
+}
+
+// InvalidatePages drops the cached page images; call after mutating Rel.
+func (d *DataPath) InvalidatePages() {
+	d.pageCacheMu.Lock()
+	d.pageCache = nil
+	d.pageCacheMu.Unlock()
 }
 
 // Profile snapshots the accumulated cycle attribution (empty when no
@@ -205,7 +228,7 @@ func (d *DataPath) Scan(hostSink io.Writer, readBufBytes int) (*ScanResult, erro
 	// needed.
 	bcfg.Sketches = sketch.NewChain(d.Sketch)
 	binner := core.NewBinner(bcfg, pre)
-	src := NewPagesReader(d.Rel)
+	src := NewPagesReaderFromPages(d.encodedPages())
 	tap := NewTap(src, d.Config.Column, binner)
 
 	buf := make([]byte, readBufBytes)
