@@ -5,7 +5,7 @@
 
 GO ?= go
 FUZZTIME ?= 30s
-BENCHJSON ?= BENCH_PR7.json
+BENCHJSON ?= BENCH_PR8.json
 
 # Perf-gate settings. The gated subset is the hot-path suite (the parallel
 # data path with and without the sketch chain, plus the Table 1 binner
@@ -20,7 +20,7 @@ PERF_OUT ?= perf_head.json
 PERF_BASE ?= perf_base.json
 PERF_HEAD ?= perf_head.json
 
-.PHONY: check vet build test race fuzz bench bench-json perf-bench perf-gate lint
+.PHONY: check vet build test race fuzz bench bench-json perf-bench perf-gate lint chaos-durable
 
 check: vet build race
 
@@ -41,6 +41,19 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -run=^$$ -fuzz=FuzzHistogramUnmarshal -fuzztime=$(FUZZTIME) ./internal/hist/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/durable/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeWALRecord -fuzztime=$(FUZZTIME) ./internal/durable/
+
+# chaos-durable is the crash-recovery chaos gate: the in-process prefix
+# property (100 randomized kill points under disk-fault injection) plus the
+# real kill -9 harness (child server process SIGKILLed mid-scan, restarted
+# from disk, client resume must deliver a byte-identical stream). Widen with
+# CHAOS_SEEDS / CRASH_SEEDS.
+CHAOS_SEEDS ?= 100
+CRASH_SEEDS ?= 5
+chaos-durable:
+	STREAMHIST_CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run 'TestDurableChaos' ./internal/durable/ -v -timeout 20m
+	STREAMHIST_CRASH_SEEDS=$(CRASH_SEEDS) $(GO) test -race -run 'TestCrash|TestServerRestart|TestServerNoDurability' ./internal/server/ -v -timeout 20m
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"streamhist/internal/client"
+	"streamhist/internal/durable"
 	"streamhist/internal/faults"
 	"streamhist/internal/obs"
 	"streamhist/internal/server"
@@ -65,7 +66,8 @@ func usage() {
   histserved serve  [-addr :7744] [-rows N] [-seed S] [-lanes N]
                     [-chaos profile] [-chaos-seed S] [-metrics-addr host:port]
                     [-sketch-ndv p] [-sketch-k K] [-sketch-window W]
-                    [-no-sketch]
+                    [-no-sketch] [-data-dir DIR] [-checkpoint-interval D]
+                    [-no-durability]
   histserved tables [-addr host:port]                   list served tables
   histserved scan   [-addr host:port] [-o file] <table> <column>
   histserved stats  [-addr host:port] <table> <column>
@@ -81,9 +83,15 @@ with -lanes 1 the profile total equals the accel-cycles counter exactly.
 scan runs beside the histogram (HyperLogLog precision, heavy-hitter
 counters, sliding-window width); -no-sketch disables the chain.
 
+-data-dir makes the stats catalog durable: crash recovery runs before the
+listener opens (checksummed snapshot + WAL replay), mutations are journaled
+write-ahead, and in-flight scans survive kill -9 via server-side resume.
+-checkpoint-interval tunes the background snapshot cadence; -no-durability
+serves ephemeral (bit-identical wire behavior) even with -data-dir set.
+
 chaos profiles (deterministic fault injection; for testing the fail-open
 posture — never enable in production): corruption-heavy, lane-failure-heavy,
-network-flaky`)
+network-flaky, disk-failure-heavy`)
 }
 
 func runServe(args []string) error {
@@ -93,13 +101,16 @@ func runServe(args []string) error {
 	seed := fs.Uint64("seed", 42, "data generator seed")
 	workers := fs.Int("workers", 0, "drain worker pool size (0 = default)")
 	lanes := fs.Int("lanes", 0, "side-path shard lanes per scan (0 = GOMAXPROCS)")
-	chaos := fs.String("chaos", "", "fault-injection profile (corruption-heavy, lane-failure-heavy, network-flaky)")
+	chaos := fs.String("chaos", "", "fault-injection profile (corruption-heavy, lane-failure-heavy, network-flaky, disk-failure-heavy)")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP introspection address (/metrics, /scans, /healthz, /debug/pprof); empty disables")
 	ndvPrec := fs.Int("sketch-ndv", 0, "HyperLogLog precision (2^p registers, 4..16; 0 = default)")
 	heavyK := fs.Int("sketch-k", 0, "SpaceSaving heavy-hitter counters (0 = default)")
 	windowW := fs.Int("sketch-window", 0, "sliding-window width in values (0 = default)")
 	noSketch := fs.Bool("no-sketch", false, "disable the sketch chain entirely")
+	dataDir := fs.String("data-dir", "", "durability directory for the stats catalog (snapshots + WAL); empty serves ephemeral")
+	ckptInterval := fs.Duration("checkpoint-interval", 0, "background checkpoint period for -data-dir (0 = 30s default, negative disables timed checkpoints)")
+	noDurability := fs.Bool("no-durability", false, "serve ephemeral even when -data-dir is set (bit-identical to a server without durability)")
 	fs.Parse(args)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -129,6 +140,35 @@ func runServe(args []string) error {
 		cfg.Faults = faults.New(*chaosSeed, profile)
 		log.Warn("CHAOS MODE: injecting faults; expect Degraded scans",
 			"profile", *chaos, "seed", *chaosSeed)
+	}
+	if *dataDir != "" && !*noDurability {
+		// Open (and so recover) BEFORE the listener: by the time the first
+		// client connects, the catalog already holds everything that survived
+		// the last process.
+		m, err := durable.Open(*dataDir, durable.Options{
+			CheckpointInterval: *ckptInterval,
+			Faults:             cfg.Faults,
+			Reg:                o.Registry(),
+		})
+		if err != nil {
+			return fmt.Errorf("open durable catalog: %w", err)
+		}
+		defer m.Close()
+		cfg.Durable = m
+		rep := m.Report()
+		log.Info("durable catalog recovered",
+			"dir", *dataDir,
+			"snapshot", rep.SnapshotLoaded,
+			"wal_records_replayed", rep.RecordsReplayed,
+			"mutations_applied", rep.MutationsApplied,
+			"truncated", rep.Truncated,
+			"open_scans", len(rep.OpenScans),
+			"elapsed", rep.Elapsed)
+		if rep.SnapshotCorrupt || rep.Truncated {
+			log.Warn("recovery hit damaged state; catalog is a verified prefix of the journaled history",
+				"snapshot_corrupt", rep.SnapshotCorrupt, "fallback_snapshot", rep.SnapshotFallback,
+				"truncated", rep.Truncated)
+		}
 	}
 	srv := server.New(cfg)
 	if err := srv.Register(tpch.Lineitem(*rows, 1, *seed)); err != nil {

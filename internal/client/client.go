@@ -251,23 +251,43 @@ func (c *Client) scanAttempt(table, column string, sink io.Writer, delivered, by
 		return nil, fmt.Errorf("client: sending SCAN: %w", err)
 	}
 	var received uint64 // page bytes this attempt, as the server counts them
+	// skip counts re-delivered duplicate pages still to swallow: a server
+	// that aligns the resume down to a frame boundary (FrameResumeInfo)
+	// re-sends pages the sink already holds. They are verified and counted
+	// as received — the server delivered them — but never sunk twice.
+	var skip uint64
 	for {
 		f, err := c.recv()
 		if err != nil {
 			return nil, fmt.Errorf("client: SCAN %s.%s: %w", table, column, err)
 		}
 		switch f.Type {
+		case server.FrameResumeInfo:
+			start, err := server.DecodeResumeInfo(f.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("client: SCAN %s.%s: %w", table, column, err)
+			}
+			if uint64(start) > *delivered {
+				return nil, fmt.Errorf("client: %w: resume start %d beyond %d delivered pages",
+					server.ErrBadFrame, start, *delivered)
+			}
+			skip = *delivered - uint64(start)
 		case server.FramePages:
 			// Legacy unchecksummed frames: nothing to verify, sink as-is.
 			if len(f.Payload) == 0 {
 				return nil, fmt.Errorf("client: %w: empty pages frame", server.ErrBadFrame)
 			}
-			if _, err := sink.Write(f.Payload); err != nil {
+			received += uint64(len(f.Payload))
+			payload := f.Payload
+			for skip > 0 && len(payload) >= page.Size {
+				payload = payload[page.Size:]
+				skip--
+			}
+			if _, err := sink.Write(payload); err != nil {
 				return nil, fmt.Errorf("client: writing to sink: %w", err)
 			}
-			received += uint64(len(f.Payload))
-			*bytesOut += uint64(len(f.Payload))
-			*delivered += uint64(len(f.Payload) / page.Size)
+			*bytesOut += uint64(len(payload))
+			*delivered += uint64(len(payload) / page.Size)
 		case server.FramePagesCk:
 			unit := page.Size + server.PageChecksumSize
 			n := len(f.Payload) / unit
@@ -284,13 +304,19 @@ func (c *Client) scanAttempt(table, column string, sink io.Writer, delivered, by
 					// attempt here so a retry resumes at exactly this page.
 					return nil, fmt.Errorf("%w (page %d of %s)", errBadPage, *delivered, table)
 				}
+				received += page.Size
+				if skip > 0 {
+					// Duplicate from the frame-aligned overlap; the sink
+					// already holds its verified copy.
+					skip--
+					continue
+				}
 				if _, err := sink.Write(img); err != nil {
 					return nil, fmt.Errorf("client: writing to sink: %w", err)
 				}
 				*delivered++
 				*bytesOut += page.Size
 			}
-			received += uint64(n * page.Size)
 		case server.FrameScanEnd:
 			sum, err := server.DecodeScanSummary(f.Payload)
 			if err != nil {

@@ -34,6 +34,27 @@ type Catalog struct {
 	mu       sync.RWMutex
 	stats    map[string]map[string]*ColumnStats
 	versions map[string]uint64
+	journal  CatalogJournal
+}
+
+// CatalogJournal observes catalog mutations for write-ahead durability. The
+// catalog invokes it while holding its write lock, so the journal sees
+// mutations in exactly apply order; implementations must therefore return
+// quickly and must never call back into the catalog.
+type CatalogJournal interface {
+	// JournalPut records a full replacement of one column's statistics
+	// (s.Version already stamped with the table's current version).
+	JournalPut(table, column string, s *ColumnStats)
+	// JournalBump records a table-version bump; version is the new
+	// absolute counter value, so replay is idempotent.
+	JournalBump(table string, version uint64)
+}
+
+// SetJournal attaches (or, with nil, detaches) the mutation journal.
+func (c *Catalog) SetJournal(j CatalogJournal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
 }
 
 // NewCatalog returns an empty catalog.
@@ -50,6 +71,9 @@ func (c *Catalog) BumpVersion(tableName string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.versions[tableName]++
+	if c.journal != nil {
+		c.journal.JournalBump(tableName, c.versions[tableName])
+	}
 }
 
 // Version returns the table's modification counter.
@@ -70,6 +94,35 @@ func (c *Catalog) Put(tableName, column string, s *ColumnStats) {
 	}
 	s.Version = c.versions[tableName]
 	cols[column] = s
+	if c.journal != nil {
+		c.journal.JournalPut(tableName, column, s)
+	}
+}
+
+// RestorePut installs a recovered entry exactly as journaled: unlike Put it
+// preserves the entry's recorded Version (rather than stamping the current
+// table version), never notifies the journal, and raises the table's version
+// floor so Stale stays consistent after replay.
+func (c *Catalog) RestorePut(tableName, column string, s *ColumnStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cols, ok := c.stats[tableName]
+	if !ok {
+		cols = make(map[string]*ColumnStats)
+		c.stats[tableName] = cols
+	}
+	cols[column] = s
+	if s.Version > c.versions[tableName] {
+		c.versions[tableName] = s.Version
+	}
+}
+
+// RestoreVersion forces a table's modification counter to an absolute value
+// (WAL replay of a bump record) without notifying the journal.
+func (c *Catalog) RestoreVersion(tableName string, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions[tableName] = v
 }
 
 // Get returns the statistics for a column, or nil when none were gathered.

@@ -8,29 +8,131 @@ import (
 	"sort"
 
 	"streamhist/internal/hist"
+	"streamhist/internal/sketch"
 )
 
 // Catalog persistence: statistics survive restarts in real engines, so the
 // catalog serialises to a compact binary image (histograms use
-// hist.Histogram's own binary format). The layout is:
+// hist.Histogram's own binary format, sketches their "SK" encoding).
 //
-//	magic uint32 = 0x53544154 ("STAT")
+// The current (v2) layout is:
+//
+//	magic uint32 = 0x32544154 ("TAT2")
+//	table-version count uint32
+//	per table:   name (uint16 length + bytes), version uint64
 //	entry count uint32
 //	per entry:
 //	  table name   (uint16 length + bytes)
 //	  column name  (uint16 length + bytes)
-//	  ndistinct, rowcount, version  int64/int64/uint64
-//	  histogram    (uint32 length + hist binary)
+//	  entry body   (see AppendColumnStats)
 //
-// Entries are written in sorted (table, column) order so the encoding is
-// deterministic.
+// Tables and entries are written in sorted order so the encoding is
+// deterministic. v2 carries the table-version map explicitly (v1 inferred it
+// from the max entry version, losing bumps made after the last gather) and
+// adds the sketch blocks to each entry. v1 images still decode.
+//
+// The v1 layout (magic 0x53544154 "STAT") was: entry count, then per entry
+// table/column strings, ndistinct/rowcount/version, and the histogram blob —
+// no versions section and no sketches.
 
-const catalogMagic uint32 = 0x53544154
+const (
+	catalogMagicV1 uint32 = 0x53544154
+	catalogMagicV2 uint32 = 0x32544154
+)
 
 // ErrCorruptCatalog reports an undecodable catalog image.
 var ErrCorruptCatalog = errors.New("dbms: corrupt catalog image")
 
-// MarshalBinary implements encoding.BinaryMarshaler for the catalog.
+// AppendColumnStats appends the catalog's per-entry binary layout for s:
+//
+//	ndistinct int64, rowcount int64, version uint64
+//	histogram     (uint32 length + hist binary; length 0 = no histogram)
+//	sketch count  uint16
+//	per sketch:   uint32 length + "SK" block encoding
+//
+// The same layout is the payload of a durable-WAL put record, so a catalog
+// image and a journal replay reconstruct bit-identical entries.
+func AppendColumnStats(dst []byte, s *ColumnStats) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.NDistinct))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.RowCount))
+	dst = binary.LittleEndian.AppendUint64(dst, s.Version)
+	var hbytes []byte
+	if s.Histogram != nil {
+		var err error
+		hbytes, err = s.Histogram.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("dbms: encode histogram: %w", err)
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(hbytes)))
+	dst = append(dst, hbytes...)
+	raws, err := sketch.EncodeBlocks(s.Sketches)
+	if err != nil {
+		return nil, fmt.Errorf("dbms: encode sketches: %w", err)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(raws)))
+	for _, raw := range raws {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(raw)))
+		dst = append(dst, raw...)
+	}
+	return dst, nil
+}
+
+// DecodeColumnStats decodes one AppendColumnStats entry from the front of
+// buf, returning the entry and the remaining bytes. Corrupt input yields
+// ErrCorruptCatalog (or the histogram/sketch decoders' own corruption
+// errors), never a panic.
+func DecodeColumnStats(buf []byte) (*ColumnStats, []byte, error) {
+	if len(buf) < 8*3+4 {
+		return nil, nil, fmt.Errorf("%w: entry header truncated", ErrCorruptCatalog)
+	}
+	s := &ColumnStats{
+		NDistinct: int64(binary.LittleEndian.Uint64(buf[0:])),
+		RowCount:  int64(binary.LittleEndian.Uint64(buf[8:])),
+		Version:   binary.LittleEndian.Uint64(buf[16:]),
+	}
+	hlen := binary.LittleEndian.Uint32(buf[24:])
+	buf = buf[28:]
+	if uint64(hlen) > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("%w: histogram truncated", ErrCorruptCatalog)
+	}
+	if hlen > 0 {
+		s.Histogram = &hist.Histogram{}
+		if err := s.Histogram.UnmarshalBinary(buf[:hlen]); err != nil {
+			return nil, nil, err
+		}
+		buf = buf[hlen:]
+	}
+	if len(buf) < 2 {
+		return nil, nil, fmt.Errorf("%w: sketch count truncated", ErrCorruptCatalog)
+	}
+	nsk := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if nsk > 0 {
+		raws := make([][]byte, 0, nsk)
+		for i := 0; i < nsk; i++ {
+			if len(buf) < 4 {
+				return nil, nil, fmt.Errorf("%w: sketch %d length truncated", ErrCorruptCatalog, i)
+			}
+			sklen := binary.LittleEndian.Uint32(buf)
+			buf = buf[4:]
+			if uint64(sklen) > uint64(len(buf)) {
+				return nil, nil, fmt.Errorf("%w: sketch %d truncated", ErrCorruptCatalog, i)
+			}
+			raws = append(raws, buf[:sklen])
+			buf = buf[sklen:]
+		}
+		blocks, err := sketch.DecodeBlocks(raws)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.Sketches = blocks
+	}
+	return s, buf, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler for the catalog,
+// emitting the v2 layout.
 func (c *Catalog) MarshalBinary() ([]byte, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -51,44 +153,122 @@ func (c *Catalog) MarshalBinary() ([]byte, error) {
 		}
 		return entries[i].column < entries[j].column
 	})
+	tables := make([]string, 0, len(c.versions))
+	for tbl := range c.versions {
+		tables = append(tables, tbl)
+	}
+	sort.Strings(tables)
 
-	var buf bytes.Buffer
-	write := func(v any) {
-		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
-			panic(err) // bytes.Buffer cannot fail
-		}
+	buf := make([]byte, 0, 256)
+	appendStr := func(s string) {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
 	}
-	writeStr := func(s string) {
-		write(uint16(len(s)))
-		buf.WriteString(s)
+	buf = binary.LittleEndian.AppendUint32(buf, catalogMagicV2)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tables)))
+	for _, tbl := range tables {
+		appendStr(tbl)
+		buf = binary.LittleEndian.AppendUint64(buf, c.versions[tbl])
 	}
-	write(catalogMagic)
-	write(uint32(len(entries)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
 	for _, e := range entries {
-		writeStr(e.table)
-		writeStr(e.column)
-		write(e.stats.NDistinct)
-		write(e.stats.RowCount)
-		write(e.stats.Version)
-		var hbytes []byte
-		if e.stats.Histogram != nil {
-			var err error
-			hbytes, err = e.stats.Histogram.MarshalBinary()
-			if err != nil {
-				return nil, fmt.Errorf("dbms: catalog entry %s.%s: %w", e.table, e.column, err)
-			}
+		appendStr(e.table)
+		appendStr(e.column)
+		var err error
+		buf, err = AppendColumnStats(buf, e.stats)
+		if err != nil {
+			return nil, fmt.Errorf("dbms: catalog entry %s.%s: %w", e.table, e.column, err)
 		}
-		write(uint32(len(hbytes)))
-		buf.Write(hbytes)
 	}
-	return buf.Bytes(), nil
+	return buf, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler; the decoded
-// entries replace the catalog's statistics (table versions are restored
-// from the entries' recorded versions).
+// entries replace the catalog's statistics. Both the current v2 layout and
+// the legacy v1 layout decode (v1 restores table versions from the entries'
+// recorded max, the best it can reconstruct).
 func (c *Catalog) UnmarshalBinary(data []byte) error {
-	r := bytes.NewReader(data)
+	if len(data) < 4 {
+		return fmt.Errorf("%w: bad header", ErrCorruptCatalog)
+	}
+	switch binary.LittleEndian.Uint32(data) {
+	case catalogMagicV2:
+		return c.unmarshalV2(data[4:])
+	case catalogMagicV1:
+		return c.unmarshalV1(data[4:])
+	default:
+		return fmt.Errorf("%w: bad header", ErrCorruptCatalog)
+	}
+}
+
+func (c *Catalog) unmarshalV2(buf []byte) error {
+	readStr := func() (string, bool) {
+		if len(buf) < 2 {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(buf))
+		if len(buf) < 2+n {
+			return "", false
+		}
+		s := string(buf[2 : 2+n])
+		buf = buf[2+n:]
+		return s, true
+	}
+	if len(buf) < 4 {
+		return fmt.Errorf("%w: missing table count", ErrCorruptCatalog)
+	}
+	ntables := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	versions := make(map[string]uint64, ntables)
+	for i := uint32(0); i < ntables; i++ {
+		tbl, ok := readStr()
+		if !ok || len(buf) < 8 {
+			return fmt.Errorf("%w: table version %d", ErrCorruptCatalog, i)
+		}
+		versions[tbl] = binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+	}
+	if len(buf) < 4 {
+		return fmt.Errorf("%w: missing entry count", ErrCorruptCatalog)
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	stats := make(map[string]map[string]*ColumnStats)
+	for i := uint32(0); i < count; i++ {
+		tbl, ok := readStr()
+		if !ok {
+			return fmt.Errorf("%w: entry %d table name", ErrCorruptCatalog, i)
+		}
+		col, ok := readStr()
+		if !ok {
+			return fmt.Errorf("%w: entry %d column name", ErrCorruptCatalog, i)
+		}
+		s, rest, err := DecodeColumnStats(buf)
+		if err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+		buf = rest
+		if stats[tbl] == nil {
+			stats[tbl] = make(map[string]*ColumnStats)
+		}
+		stats[tbl][col] = s
+		if s.Version > versions[tbl] {
+			versions[tbl] = s.Version
+		}
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptCatalog, len(buf))
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = stats
+	c.versions = versions
+	return nil
+}
+
+func (c *Catalog) unmarshalV1(body []byte) error {
+	r := bytes.NewReader(body)
 	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
 	readStr := func() (string, error) {
 		var n uint16
@@ -102,10 +282,6 @@ func (c *Catalog) UnmarshalBinary(data []byte) error {
 		return string(b), nil
 	}
 
-	var magic uint32
-	if err := read(&magic); err != nil || magic != catalogMagic {
-		return fmt.Errorf("%w: bad header", ErrCorruptCatalog)
-	}
 	var count uint32
 	if err := read(&count); err != nil {
 		return fmt.Errorf("%w: missing entry count", ErrCorruptCatalog)

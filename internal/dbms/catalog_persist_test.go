@@ -1,8 +1,11 @@
 package dbms
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 
+	"streamhist/internal/sketch"
 	"streamhist/internal/tpch"
 )
 
@@ -96,6 +99,161 @@ func TestCatalogUnmarshalRejectsGarbage(t *testing.T) {
 	}
 	if err := c.UnmarshalBinary(append(good, 9)); err == nil {
 		t.Error("trailing bytes accepted")
+	}
+}
+
+// sketchedCatalog builds a catalog whose entries carry sketch blocks and
+// whose table versions run ahead of the entries (a bump after the last
+// gather), so the v2 round trip has something v1 could not represent.
+func sketchedCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat := persistedCatalog(t)
+	ch := sketch.NewChain(sketch.DefaultChainSpec())
+	for v := int64(0); v < 500; v++ {
+		ch.Push(v % 97)
+	}
+	s := cat.Get("lineitem", "l_quantity")
+	s.Sketches = ch.Blocks()
+	cat.BumpVersion("customer") // version floor now ahead of every entry
+	return cat
+}
+
+func TestCatalogPersistenceV2SketchesAndVersions(t *testing.T) {
+	cat := sketchedCatalog(t)
+	data, err := cat.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCatalog()
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	// Sketch blocks survive byte-identically (canonical "SK" encoding).
+	origSk, err := sketch.EncodeBlocks(cat.Get("lineitem", "l_quantity").Sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backSk, err := sketch.EncodeBlocks(restored.Get("lineitem", "l_quantity").Sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origSk) == 0 || len(origSk) != len(backSk) {
+		t.Fatalf("sketch blocks: %d orig vs %d restored", len(origSk), len(backSk))
+	}
+	for i := range origSk {
+		if !bytes.Equal(origSk[i], backSk[i]) {
+			t.Errorf("sketch block %d differs after restore", i)
+		}
+	}
+	// The post-gather bump survives: v1 inferred versions from entries and
+	// would have lost it, so the restored stats would look fresh.
+	if got, want := restored.Version("customer"), cat.Version("customer"); got != want {
+		t.Fatalf("customer version: got %d want %d", got, want)
+	}
+	if !restored.Stale("customer", "c_acctbal") {
+		t.Error("bumped table not stale after restore")
+	}
+	// Marshal of the restored catalog is bit-identical: restore is lossless.
+	data2, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("restored catalog re-encodes differently")
+	}
+}
+
+// marshalV1 reproduces the legacy v1 image layout so the compat path stays
+// covered after MarshalBinary moved to v2.
+func marshalV1(t *testing.T, cat *Catalog) []byte {
+	t.Helper()
+	type flat struct {
+		tbl, col string
+		s        *ColumnStats
+	}
+	var entries []flat
+	for _, tbl := range []string{"customer", "lineitem"} {
+		for _, col := range cat.StatsColumns(tbl) {
+			entries = append(entries, flat{tbl, col, cat.Get(tbl, col)})
+		}
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, 0x53544154)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.tbl)))
+		buf = append(buf, e.tbl...)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.col)))
+		buf = append(buf, e.col...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.s.NDistinct))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.s.RowCount))
+		buf = binary.LittleEndian.AppendUint64(buf, e.s.Version)
+		hb, err := e.s.Histogram.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hb)))
+		buf = append(buf, hb...)
+	}
+	return buf
+}
+
+func TestCatalogUnmarshalLegacyV1(t *testing.T) {
+	cat := persistedCatalog(t)
+	restored := NewCatalog()
+	if err := restored.UnmarshalBinary(marshalV1(t, cat)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ tbl, col string }{
+		{"lineitem", "l_quantity"}, {"customer", "c_acctbal"},
+	} {
+		orig, back := cat.Get(tc.tbl, tc.col), restored.Get(tc.tbl, tc.col)
+		if back == nil {
+			t.Fatalf("%s.%s missing from v1 restore", tc.tbl, tc.col)
+		}
+		if back.NDistinct != orig.NDistinct || back.RowCount != orig.RowCount || back.Version != orig.Version {
+			t.Errorf("%s.%s: metadata differs via v1", tc.tbl, tc.col)
+		}
+	}
+}
+
+// recordingJournal captures the mutation stream for ordering assertions.
+type recordingJournal struct {
+	ops []string
+}
+
+func (j *recordingJournal) JournalPut(table, column string, s *ColumnStats) {
+	j.ops = append(j.ops, "put "+table+"."+column)
+}
+
+func (j *recordingJournal) JournalBump(table string, version uint64) {
+	j.ops = append(j.ops, "bump "+table)
+}
+
+func TestCatalogJournalSeesMutationsInOrder(t *testing.T) {
+	cat := NewCatalog()
+	j := &recordingJournal{}
+	cat.SetJournal(j)
+	cat.Put("t", "a", &ColumnStats{RowCount: 1})
+	cat.BumpVersion("t")
+	cat.Put("t", "b", &ColumnStats{RowCount: 2})
+	want := []string{"put t.a", "bump t", "put t.b"}
+	if len(j.ops) != len(want) {
+		t.Fatalf("journal saw %v", j.ops)
+	}
+	for i := range want {
+		if j.ops[i] != want[i] {
+			t.Fatalf("journal order %v, want %v", j.ops, want)
+		}
+	}
+	// Restore paths never notify the journal.
+	j.ops = nil
+	cat.RestorePut("t", "c", &ColumnStats{Version: 9})
+	cat.RestoreVersion("t", 9)
+	if len(j.ops) != 0 {
+		t.Fatalf("restore notified journal: %v", j.ops)
+	}
+	if cat.Version("t") != 9 || cat.Get("t", "c").Version != 9 {
+		t.Error("restore did not preserve versions")
 	}
 }
 

@@ -1,0 +1,319 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"streamhist/internal/dbms"
+	"streamhist/internal/hist"
+)
+
+// testStats builds a deterministic catalog entry whose histogram content
+// depends on the salt, so distinct mutations are distinguishable by bytes.
+func testStats(salt int64) *dbms.ColumnStats {
+	vals := make([]int64, 0, 256)
+	for i := int64(0); i < 256; i++ {
+		vals = append(vals, (i*7+salt)%97)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return &dbms.ColumnStats{
+		Histogram: hist.BuildFromSorted(vals, hist.EquiDepth, 16, 0),
+		NDistinct: 97,
+		RowCount:  256 + salt,
+	}
+}
+
+func catalogBytes(t *testing.T, c *dbms.Catalog) []byte {
+	t.Helper()
+	b, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDurableCrashRecoversJournaledMutations(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := m.Catalog()
+	cat.Put("lineitem", "l_quantity", testStats(1))
+	cat.Put("lineitem", "l_extendedprice", testStats(2))
+	cat.BumpVersion("orders")
+	cat.Put("orders", "o_totalprice", testStats(3))
+	want := catalogBytes(t, cat)
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m.Abandon() // kill -9: no final checkpoint, queue abandoned
+
+	m2, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if got := catalogBytes(t, m2.Catalog()); !bytes.Equal(got, want) {
+		t.Fatal("recovered catalog differs from pre-crash catalog")
+	}
+	rep := m2.Report()
+	if rep.MutationsApplied != 4 {
+		t.Fatalf("MutationsApplied = %d, want 4", rep.MutationsApplied)
+	}
+	if rep.Truncated {
+		t.Error("clean WAL reported truncated")
+	}
+	if m2.Catalog().Version("orders") != 1 {
+		t.Error("bump record not replayed")
+	}
+	// The entry installed after the bump carries the bumped version.
+	if s := m2.Catalog().Get("orders", "o_totalprice"); s == nil || s.Version != 1 {
+		t.Error("put after bump lost its stamped version")
+	}
+}
+
+func TestDurableCleanCloseLoadsFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().Put("t", "a", testStats(5))
+	want := catalogBytes(t, m.Catalog())
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	rep := m2.Report()
+	if !rep.SnapshotLoaded || rep.SnapshotFallback || rep.SnapshotCorrupt {
+		t.Fatalf("unexpected snapshot flags: %+v", rep)
+	}
+	if rep.MutationsApplied != 0 {
+		t.Errorf("clean close should leave nothing to replay, applied %d", rep.MutationsApplied)
+	}
+	if got := catalogBytes(t, m2.Catalog()); !bytes.Equal(got, want) {
+		t.Fatal("snapshot-loaded catalog differs")
+	}
+}
+
+// TestDurableTornTailTruncates hand-builds a segment whose third record is
+// torn and whose fourth is intact: replay must keep the first two, stop at
+// the tear, and — because the tail beyond a tear cannot be trusted to
+// connect to the prefix — refuse the post-gap mutation.
+func TestDurableTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	stats := func(salt int64) []byte {
+		b, err := dbms.AppendColumnStats(nil, testStats(salt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	var seg []byte
+	seg = AppendRecord(seg, Record{Type: RecPut, LSN: 1, Seq: 1, Table: "t", Column: "a", Stats: stats(1)})
+	seg = AppendRecord(seg, Record{Type: RecPut, LSN: 2, Seq: 2, Table: "t", Column: "b", Stats: stats(2)})
+	torn := AppendRecord(nil, Record{Type: RecPut, LSN: 3, Seq: 3, Table: "t", Column: "c", Stats: stats(3)})
+	seg = append(seg, torn[:len(torn)/2]...)
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A later segment holds a post-tear mutation: its sequence (4) gaps
+	// over the torn 3, so it must not be applied.
+	seg2 := AppendRecord(nil, Record{Type: RecPut, LSN: 4, Seq: 4, Table: "t", Column: "d", Stats: stats(4)})
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), seg2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Error("torn tail not reported")
+	}
+	if rep.MutationsApplied != 2 {
+		t.Fatalf("applied %d mutations, want 2", rep.MutationsApplied)
+	}
+	if cat.Get("t", "a") == nil || cat.Get("t", "b") == nil {
+		t.Error("pre-tear entries missing")
+	}
+	if cat.Get("t", "c") != nil || cat.Get("t", "d") != nil {
+		t.Error("post-tear entry applied: recovered state is not a prefix")
+	}
+}
+
+func TestDurableScanJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := m.ScanStarted("lineitem", "l_quantity", 0)
+	m.ScanProgress(id, 8)
+	m.ScanProgress(id, 16)
+	done := m.ScanStarted("lineitem", "l_tax", 0)
+	m.ScanEnded(done, 24)
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m.Abandon()
+
+	m2, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	open := m2.RecoveredScans()
+	if len(open) != 1 {
+		t.Fatalf("recovered %d open scans, want 1: %+v", len(open), open)
+	}
+	if open[0].Table != "lineitem" || open[0].Column != "l_quantity" || open[0].Pages != 16 {
+		t.Fatalf("recovered scan = %+v", open[0])
+	}
+	st, ok := m2.AdoptRecovered("lineitem", "l_quantity")
+	if !ok || st.Pages != 16 {
+		t.Fatalf("adopt = %+v, %v", st, ok)
+	}
+	if _, ok := m2.AdoptRecovered("lineitem", "l_quantity"); ok {
+		t.Error("recovered scan adopted twice")
+	}
+	// New scan IDs never collide with recovered ones.
+	if nid := m2.ScanStarted("x", "y", 0); nid <= st.ID {
+		t.Errorf("new scan id %d not past recovered %d", nid, st.ID)
+	}
+}
+
+func TestDurableSnapshotFallbackToPrev(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().Put("t", "a", testStats(1))
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().Put("t", "b", testStats(2))
+	want := catalogBytes(t, m.Catalog())
+	if err := m.Close(); err != nil { // second snapshot; first demoted to .prev
+		t.Fatal(err)
+	}
+
+	// Corrupt the current snapshot; recovery must fall back to .prev and
+	// reconstruct the rest from the WAL segments the GC kept for exactly
+	// this case.
+	cur := filepath.Join(dir, "catalog.snap")
+	buf, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if err := os.WriteFile(cur, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, rep, err := Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SnapshotCorrupt || !rep.SnapshotFallback || !rep.SnapshotLoaded {
+		t.Fatalf("fallback flags wrong: %+v", rep)
+	}
+	if got := catalogBytes(t, cat); !bytes.Equal(got, want) {
+		t.Fatal("fallback recovery did not reconstruct the full state")
+	}
+}
+
+func TestDurableRecordRoundTrip(t *testing.T) {
+	stats, err := dbms.AppendColumnStats(nil, testStats(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Type: RecPut, LSN: 7, Seq: 3, Table: "lineitem", Column: "l_quantity", Stats: stats},
+		{Type: RecBump, LSN: 8, Seq: 4, Table: "orders", Version: 12},
+		{Type: RecScanStart, LSN: 9, ScanID: 5, Pages: 4, Table: "t", Column: "c"},
+		{Type: RecScanProgress, LSN: 10, ScanID: 5, Pages: 12},
+		{Type: RecScanEnd, LSN: 11, ScanID: 5, Pages: 20},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	off := 0
+	for i, wantRec := range recs {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		off += n
+		if got.Type != wantRec.Type || got.LSN != wantRec.LSN || got.Seq != wantRec.Seq ||
+			got.Table != wantRec.Table || got.Column != wantRec.Column ||
+			got.Version != wantRec.Version || got.ScanID != wantRec.ScanID || got.Pages != wantRec.Pages {
+			t.Fatalf("record %d: got %+v want %+v", i, got, wantRec)
+		}
+		if !bytes.Equal(got.Stats, wantRec.Stats) {
+			t.Fatalf("record %d: stats bytes differ", i)
+		}
+	}
+	if off != len(buf) {
+		t.Fatalf("decoded %d of %d bytes", off, len(buf))
+	}
+	// Every single-byte corruption is caught.
+	one := AppendRecord(nil, recs[0])
+	for i := range one {
+		mut := append([]byte(nil), one...)
+		mut[i] ^= 0x01
+		if _, _, err := DecodeRecord(mut); err == nil {
+			t.Fatalf("byte %d flip not detected", i)
+		}
+	}
+}
+
+func TestDurableSnapshotEncodeDecode(t *testing.T) {
+	snap := &Snapshot{
+		BaseLSN: 42,
+		BaseSeq: 17,
+		Lossy:   true,
+		Catalog: []byte{1, 2, 3, 4, 5},
+		Scans: []ScanState{
+			{ID: 1, Table: "t", Column: "a", Start: 0, Pages: 16},
+			{ID: 2, Table: "t", Column: "b", Start: 8, Pages: 8},
+		},
+	}
+	enc := EncodeSnapshot(snap)
+	got, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseLSN != 42 || got.BaseSeq != 17 || !got.Lossy ||
+		!bytes.Equal(got.Catalog, snap.Catalog) || len(got.Scans) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !bytes.Equal(EncodeSnapshot(got), enc) {
+		t.Fatal("decode→encode not canonical")
+	}
+	// Every single-byte corruption is caught.
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x01
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("byte %d flip not detected", i)
+		}
+	}
+	// Truncations are caught.
+	for _, cut := range []int{1, 8, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeSnapshot(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

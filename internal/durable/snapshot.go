@@ -1,0 +1,235 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streamhist/internal/page"
+)
+
+// Snapshot files are full checkpoints of the durable state: the catalog
+// image plus the in-flight scan journal, stamped with the log position they
+// fold. The header and payload are independently CRC32C-protected so a torn
+// or bit-flipped snapshot is rejected as a whole — recovery then falls back
+// to the previous snapshot (kept as <name>.prev until the next checkpoint)
+// rather than loading garbage.
+//
+//	offset  field
+//	0:4     magic uint32 = 0x50414E53 ("SNAP")
+//	4       version uint8 = 1
+//	5       flags uint8 (bit0: the WAL epoch before this snapshot dropped
+//	        records, so on-disk history older than BaseLSN has gaps)
+//	6:8     reserved uint16, must be 0
+//	8:16    BaseLSN uint64  — every record with lsn ≤ BaseLSN is folded in
+//	16:24   BaseSeq uint64  — catalog-mutation sequence folded in
+//	24:28   payload length uint32
+//	28:32   payload CRC32C
+//	32:36   header CRC32C over bytes [0:32)
+//	36:     payload
+//
+// Payload:
+//
+//	catalog image  (uint32 length + dbms.Catalog binary)
+//	scan count     uint32
+//	per scan:      id uint64, start u32, pages u32, table str16, column str16
+const (
+	snapshotMagic   uint32 = 0x50414E53
+	snapshotVersion uint8  = 1
+	snapshotHdrSize        = 36
+
+	flagLossy uint8 = 1 << 0
+
+	// MaxSnapshotPayload bounds the decoded payload so a corrupted length
+	// field cannot request an absurd allocation.
+	MaxSnapshotPayload = 1 << 28
+)
+
+// ErrCorruptSnapshot reports a snapshot image that failed structural or
+// checksum validation.
+var ErrCorruptSnapshot = errors.New("durable: corrupt snapshot")
+
+// ScanState is one in-flight scan journal entry: a scan that had started
+// (and possibly progressed) but not finished when the state was captured.
+type ScanState struct {
+	ID            uint64
+	Table, Column string
+	// Start is the page index the scan began delivering from.
+	Start uint32
+	// Pages is the delivered high-water mark, in pages from the start of
+	// the relation, recorded at frame granularity.
+	Pages uint32
+}
+
+// Snapshot is the decoded form of a snapshot file.
+type Snapshot struct {
+	BaseLSN uint64
+	BaseSeq uint64
+	// Lossy records that the WAL epoch before this snapshot dropped
+	// records (queue overflow, injected tear), so history older than
+	// BaseLSN has gaps. The snapshot itself is complete either way.
+	Lossy bool
+	// Catalog is the dbms.Catalog binary image.
+	Catalog []byte
+	// Scans are the in-flight scan journal entries open at capture time.
+	Scans []ScanState
+}
+
+// EncodeSnapshot renders s into its wire form.
+func EncodeSnapshot(s *Snapshot) []byte {
+	payload := make([]byte, 0, len(s.Catalog)+64)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(s.Catalog)))
+	payload = append(payload, s.Catalog...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(s.Scans)))
+	for _, sc := range s.Scans {
+		payload = binary.LittleEndian.AppendUint64(payload, sc.ID)
+		payload = binary.LittleEndian.AppendUint32(payload, sc.Start)
+		payload = binary.LittleEndian.AppendUint32(payload, sc.Pages)
+		payload = appendStr16(payload, sc.Table)
+		payload = appendStr16(payload, sc.Column)
+	}
+
+	buf := make([]byte, 0, snapshotHdrSize+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotMagic)
+	var flags uint8
+	if s.Lossy {
+		flags |= flagLossy
+	}
+	buf = append(buf, snapshotVersion, flags, 0, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, s.BaseLSN)
+	buf = binary.LittleEndian.AppendUint64(buf, s.BaseSeq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, page.Checksum(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, page.Checksum(buf))
+	return append(buf, payload...)
+}
+
+// DecodeSnapshot validates and decodes a snapshot image. It is strict: both
+// checksums must match, reserved fields must be zero, and the payload must
+// be consumed exactly — so a decoded snapshot re-encodes to the identical
+// bytes. Corrupt input yields ErrCorruptSnapshot, never a panic.
+func DecodeSnapshot(buf []byte) (*Snapshot, error) {
+	if len(buf) < snapshotHdrSize {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorruptSnapshot)
+	}
+	hdr := buf[:snapshotHdrSize]
+	if page.Checksum(hdr[:32]) != binary.LittleEndian.Uint32(hdr[32:]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorruptSnapshot)
+	}
+	if binary.LittleEndian.Uint32(hdr) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptSnapshot)
+	}
+	if hdr[4] != snapshotVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrCorruptSnapshot, hdr[4])
+	}
+	if hdr[5]&^flagLossy != 0 || hdr[6] != 0 || hdr[7] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved bits", ErrCorruptSnapshot)
+	}
+	s := &Snapshot{
+		BaseLSN: binary.LittleEndian.Uint64(hdr[8:]),
+		BaseSeq: binary.LittleEndian.Uint64(hdr[16:]),
+		Lossy:   hdr[5]&flagLossy != 0,
+	}
+	plen := binary.LittleEndian.Uint32(hdr[24:])
+	if plen > MaxSnapshotPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds bound", ErrCorruptSnapshot, plen)
+	}
+	if len(buf) != snapshotHdrSize+int(plen) {
+		return nil, fmt.Errorf("%w: payload length mismatch", ErrCorruptSnapshot)
+	}
+	payload := buf[snapshotHdrSize:]
+	if page.Checksum(payload) != binary.LittleEndian.Uint32(hdr[28:]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorruptSnapshot)
+	}
+
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: missing catalog length", ErrCorruptSnapshot)
+	}
+	clen := binary.LittleEndian.Uint32(payload)
+	payload = payload[4:]
+	if uint64(clen) > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: catalog truncated", ErrCorruptSnapshot)
+	}
+	s.Catalog = append([]byte(nil), payload[:clen]...)
+	payload = payload[clen:]
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: missing scan count", ErrCorruptSnapshot)
+	}
+	nscans := binary.LittleEndian.Uint32(payload)
+	payload = payload[4:]
+	for i := uint32(0); i < nscans; i++ {
+		if len(payload) < 16 {
+			return nil, fmt.Errorf("%w: scan %d truncated", ErrCorruptSnapshot, i)
+		}
+		sc := ScanState{
+			ID:    binary.LittleEndian.Uint64(payload),
+			Start: binary.LittleEndian.Uint32(payload[8:]),
+			Pages: binary.LittleEndian.Uint32(payload[12:]),
+		}
+		payload = payload[16:]
+		var ok bool
+		if sc.Table, payload, ok = readStr16(payload); !ok {
+			return nil, fmt.Errorf("%w: scan %d table", ErrCorruptSnapshot, i)
+		}
+		if sc.Column, payload, ok = readStr16(payload); !ok {
+			return nil, fmt.Errorf("%w: scan %d column", ErrCorruptSnapshot, i)
+		}
+		s.Scans = append(s.Scans, sc)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorruptSnapshot, len(payload))
+	}
+	return s, nil
+}
+
+const (
+	snapName     = "catalog.snap"
+	snapPrevName = "catalog.snap.prev"
+	snapTmpName  = "catalog.snap.tmp"
+)
+
+// writeSnapshotFile installs an encoded snapshot atomically: write to a
+// temporary file, fsync it, demote the current snapshot to .prev, rename the
+// temporary into place, and fsync the directory so the rename itself is
+// durable. A crash at any point leaves either the old snapshot, the .prev
+// fallback, or the new snapshot — never a half-written current file.
+func writeSnapshotFile(dir string, encoded []byte) error {
+	tmp := filepath.Join(dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encoded); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cur := filepath.Join(dir, snapName)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, filepath.Join(dir, snapPrevName)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

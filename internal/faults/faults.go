@@ -64,6 +64,21 @@ const (
 	// DrainSaturate makes the drain-worker pool report itself full, so a
 	// scan streams without a side path.
 	DrainSaturate Point = "server.drain.saturate"
+
+	// WALTorn tears one WAL append mid-record — only a prefix of the
+	// record reaches the file, as if the process died inside write(2).
+	// The durable layer then drops everything behind the tear until a
+	// checkpoint re-baselines, mirroring a crashed tail.
+	WALTorn Point = "wal.torn"
+	// WALFsync makes one WAL fsync barrier silently do nothing (a drive
+	// that acknowledged a flush it never performed).
+	WALFsync Point = "wal.fsync"
+	// SnapCorrupt flips one byte of a snapshot image on its way to disk,
+	// so recovery must reject it by checksum and fall back.
+	SnapCorrupt Point = "snap.corrupt"
+	// DiskSlow stretches one durable-layer disk operation by an injected
+	// delay (a saturated device), exercising checkpoint backpressure.
+	DiskSlow Point = "disk.slow"
 )
 
 // Points lists every defined injection point, in a stable order.
@@ -74,6 +89,7 @@ func Points() []Point {
 		LanePanic, LaneStall,
 		SketchCorrupt, SketchRetire,
 		ConnReset, DrainSaturate,
+		WALTorn, WALFsync, SnapCorrupt, DiskSlow,
 	}
 }
 
@@ -111,11 +127,12 @@ const (
 	ProfileCorruptionHeavy  = "corruption-heavy"
 	ProfileLaneFailureHeavy = "lane-failure-heavy"
 	ProfileNetworkFlaky     = "network-flaky"
+	ProfileDiskFailureHeavy = "disk-failure-heavy"
 )
 
 // ProfileNames lists the named profiles in a stable order.
 func ProfileNames() []string {
-	return []string{ProfileCorruptionHeavy, ProfileLaneFailureHeavy, ProfileNetworkFlaky}
+	return []string{ProfileCorruptionHeavy, ProfileLaneFailureHeavy, ProfileNetworkFlaky, ProfileDiskFailureHeavy}
 }
 
 // ByName returns a named profile, or an error listing the valid names.
@@ -142,6 +159,13 @@ func ByName(name string) (Profile, error) {
 			ConnReset:     0.10,
 			DrainSaturate: 0.25,
 			PageCorrupt:   0.01,
+		}, nil
+	case ProfileDiskFailureHeavy:
+		return Profile{
+			WALTorn:     0.05,
+			WALFsync:    0.10,
+			SnapCorrupt: 0.10,
+			DiskSlow:    0.10,
 		}, nil
 	default:
 		return nil, fmt.Errorf("faults: unknown profile %q (want one of %s)",

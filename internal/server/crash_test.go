@@ -1,0 +1,236 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"streamhist/internal/client"
+	"streamhist/internal/durable"
+	"streamhist/internal/page"
+	"streamhist/internal/server"
+	"streamhist/internal/stream"
+)
+
+// TestCrashServerHelper is not a test: it is the child half of the kill -9
+// chaos harness. When re-executed with STREAMHIST_CRASH_HELPER=1 it opens the
+// durability directory it was given, serves the deterministic relation on a
+// loopback listener, publishes the address atomically into the directory, and
+// then blocks until the parent SIGKILLs it.
+func TestCrashServerHelper(t *testing.T) {
+	dir := os.Getenv("STREAMHIST_CRASH_DIR")
+	if os.Getenv("STREAMHIST_CRASH_HELPER") != "1" || dir == "" {
+		t.Skip("helper process entry point; run via TestCrashKill9ScanResume")
+	}
+	m, err := durable.Open(filepath.Join(dir, "state"), durable.Options{
+		CheckpointInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("helper open: %v", err)
+	}
+	srv := server.New(server.Config{Durable: m, PagesPerFrame: 2})
+	if err := srv.Register(testRelation(20000)); err != nil {
+		t.Fatalf("helper register: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("helper listen: %v", err)
+	}
+	tmp := filepath.Join(dir, "addr.tmp")
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatalf("helper addr: %v", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		t.Fatalf("helper addr rename: %v", err)
+	}
+	srv.Serve(context.Background(), ln) //nolint:errcheck // killed, never returns
+}
+
+// startCrashHelper re-executes the test binary as the helper server process
+// and waits for it to publish its address.
+func startCrashHelper(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(filepath.Join(dir, "addr"))
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashServerHelper$")
+	cmd.Env = append(os.Environ(),
+		"STREAMHIST_CRASH_HELPER=1",
+		"STREAMHIST_CRASH_DIR="+dir,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start helper: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil && len(b) > 0 {
+			return cmd, string(b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cmd.Process.Kill() //nolint:errcheck
+	cmd.Wait()         //nolint:errcheck
+	t.Fatal("helper did not publish an address in 30s")
+	return nil, ""
+}
+
+// pollCatalogHasEntry waits until a read-only Inspect of the (live) durable
+// directory shows the column's statistics — i.e. the entry is actually on
+// disk, so a SIGKILL afterwards cannot lose it. Concurrent writes by the
+// helper can tear an individual read; inspection errors just mean try again.
+func pollCatalogHasEntry(t *testing.T, stateDir, table, column string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		cat, _, err := durable.Inspect(stateDir)
+		if err == nil && cat.Get(table, column) != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s.%s never became durable on disk", table, column)
+}
+
+// slowSink throttles page consumption so a scan spans real wall-clock time
+// and the seeded SIGKILL has a window to land mid-stream.
+type slowSink struct {
+	buf   bytes.Buffer
+	delay time.Duration
+}
+
+func (s *slowSink) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.buf.Write(p)
+}
+
+// TestCrashKill9ScanResume is the process-level half of the kill -9 proof:
+// across seeds, a real child process serving a durable catalog is SIGKILLed
+// at a random point while a client scan is in flight, restarted from disk,
+// and the client's redial-resume must complete the scan with delivered bytes
+// identical to a clean run — while the statistics a pre-kill scan installed
+// come back byte-identical. Seeds widen via STREAMHIST_CRASH_SEEDS.
+func TestCrashKill9ScanResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and SIGKILLs child processes")
+	}
+	seeds := 3
+	if env := os.Getenv("STREAMHIST_CRASH_SEEDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("bad STREAMHIST_CRASH_SEEDS %q", env)
+		}
+		seeds = n
+	}
+	rel := testRelation(20000)
+	want, err := io.ReadAll(stream.NewPagesReader(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			stateDir := filepath.Join(dir, "state")
+			cmd, addr := startCrashHelper(t, dir)
+			killed := false
+			defer func() {
+				if cmd != nil && cmd.Process != nil {
+					cmd.Process.Kill() //nolint:errcheck
+					cmd.Wait()         //nolint:errcheck
+				}
+				_ = killed
+			}()
+
+			redial := func() (net.Conn, error) {
+				deadline := time.Now().Add(20 * time.Second)
+				for time.Now().Before(deadline) {
+					if b, err := os.ReadFile(filepath.Join(dir, "addr")); err == nil {
+						if conn, err := net.DialTimeout("tcp", string(b), time.Second); err == nil {
+							return conn, nil
+						}
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				return nil, fmt.Errorf("no server came back within 20s")
+			}
+
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("dial helper: %v", err)
+			}
+			c := client.New(conn)
+			c.SetTimeout(20 * time.Second)
+			c.SetRedial(redial)
+			c.SetRetryPolicy(16, 2*time.Millisecond)
+			defer c.Close()
+
+			// Phase 1: a clean scan installs c1's statistics; wait until the
+			// install is provably on disk, then snapshot its wire form.
+			if _, err := c.Scan("synthetic", "c1", io.Discard); err != nil {
+				t.Fatalf("pre-kill scan: %v", err)
+			}
+			pollCatalogHasEntry(t, stateDir, "synthetic", "c1")
+			statsBefore, err := c.Stats("synthetic", "c1")
+			if err != nil {
+				t.Fatalf("pre-kill stats: %v", err)
+			}
+
+			// Phase 2: scan c2 through a throttled sink while a seeded timer
+			// SIGKILLs the server mid-flight, then restarts it from disk.
+			killDelay := time.Duration(2+seed*7%37) * time.Millisecond
+			restarted := make(chan struct{})
+			go func() {
+				defer close(restarted)
+				time.Sleep(killDelay)
+				cmd.Process.Kill() //nolint:errcheck
+				cmd.Wait()         //nolint:errcheck
+				cmd, _ = startCrashHelper(t, dir)
+			}()
+			sink := &slowSink{delay: 500 * time.Microsecond}
+			sum, err := c.Scan("synthetic", "c2", sink)
+			<-restarted
+			if err != nil {
+				t.Fatalf("killed scan did not complete via resume: %v", err)
+			}
+			if !bytes.Equal(sink.buf.Bytes(), want) {
+				t.Fatalf("delivered bytes differ from the clean run (%d vs %d bytes, %d retries)",
+					sink.buf.Len(), len(want), sum.Retries)
+			}
+			if sum.Pages != uint32(len(want)/page.Size) {
+				t.Fatalf("summary counts %d pages, want %d", sum.Pages, len(want)/page.Size)
+			}
+
+			// Phase 3: the statistics installed before the kill survive it
+			// byte-identically. Stats has no resume machinery, so reconnect
+			// to the restarted server explicitly.
+			conn2, err := redial()
+			if err != nil {
+				t.Fatalf("reconnect for stats: %v", err)
+			}
+			c2 := client.New(conn2)
+			c2.SetTimeout(20 * time.Second)
+			defer c2.Close()
+			statsAfter, err := c2.Stats("synthetic", "c1")
+			if err != nil {
+				t.Fatalf("post-restart stats: %v", err)
+			}
+			hb, _ := statsBefore.Histogram.MarshalBinary()
+			ha, _ := statsAfter.Histogram.MarshalBinary()
+			if !bytes.Equal(hb, ha) {
+				t.Fatal("recovered c1 histogram differs from the pre-kill one")
+			}
+			if statsAfter.Version != statsBefore.Version ||
+				statsAfter.RowCount != statsBefore.RowCount ||
+				statsAfter.NDistinct != statsBefore.NDistinct {
+				t.Fatalf("recovered stats header changed: %+v vs %+v", statsAfter, statsBefore)
+			}
+		})
+	}
+}

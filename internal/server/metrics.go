@@ -28,6 +28,7 @@ type metrics struct {
 	lanesRetired     *obs.Counter
 	scansDegraded    *obs.Counter
 	retriesServed    *obs.Counter
+	resumesAdopted   *obs.Counter
 
 	// faultsCorrected / binsQuarantined fold the merged side path's ECC
 	// accounting (BinnerStats.FaultsCorrected / BinsQuarantined) in at
@@ -80,6 +81,7 @@ func newMetrics(reg *obs.Registry, lanes int) metrics {
 		lanesRetired:     reg.Counter("streamhist_server_lanes_retired_total", "Side-path lanes abandoned after a panic or a stall past the supervision timeout."),
 		scansDegraded:    reg.Counter("streamhist_server_scans_degraded_total", "Scans whose summary reported a degraded (or absent) statistics side effect."),
 		retriesServed:    reg.Counter("streamhist_server_retries_served_total", "Scans resumed from a nonzero page offset by a reconnecting client."),
+		resumesAdopted:   reg.Counter("streamhist_server_resumes_adopted_total", "Resumed scans matched to an in-flight journal entry recovered from a previous process."),
 
 		faultsCorrected: reg.Counter("streamhist_server_ecc_corrected_total", "Injected bin-memory upsets ECC repaired in merged side-path state."),
 		binsQuarantined: reg.Counter("streamhist_server_bins_quarantined_total", "Bins lost to uncorrectable memory upsets in merged side-path state."),

@@ -68,6 +68,14 @@ const (
 	// FramePages frame would carry — the trailer lets any consumer detect a
 	// page corrupted in flight without changing the data layout.
 	FramePagesCk uint8 = 21
+	// FrameResumeInfo opens a resumed scan's response (Offset > 0): the
+	// payload is one little-endian uint32, the page index the server will
+	// actually stream from. The server aligns every resume down to a frame
+	// boundary so the page frames it re-sends are byte-identical to the
+	// original delivery; the client skips the pages it already holds. A
+	// zero-offset scan never carries this frame, so pre-resume peers
+	// interoperate unchanged.
+	FrameResumeInfo uint8 = 22
 )
 
 // PageChecksumSize is the per-page trailer cost of a FramePagesCk frame.
@@ -221,6 +229,20 @@ func cutString(buf []byte) (string, []byte, error) {
 		return "", nil, fmt.Errorf("%w: truncated string body", ErrBadFrame)
 	}
 	return string(buf[:n]), buf[n:], nil
+}
+
+// EncodeResumeInfo serialises a FrameResumeInfo payload: the frame-aligned
+// page index a resumed scan streams from.
+func EncodeResumeInfo(startPage uint32) []byte {
+	return binary.LittleEndian.AppendUint32(nil, startPage)
+}
+
+// DecodeResumeInfo parses a FrameResumeInfo payload.
+func DecodeResumeInfo(buf []byte) (uint32, error) {
+	if len(buf) != 4 {
+		return 0, fmt.Errorf("%w: resume info is %d bytes, want 4", ErrBadFrame, len(buf))
+	}
+	return binary.LittleEndian.Uint32(buf), nil
 }
 
 // ScanRequest names the relation and column of a SCAN or STATS request.

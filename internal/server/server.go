@@ -15,6 +15,7 @@ import (
 
 	"streamhist/internal/core"
 	"streamhist/internal/dbms"
+	"streamhist/internal/durable"
 	"streamhist/internal/faults"
 	"streamhist/internal/hist"
 	"streamhist/internal/hw"
@@ -86,6 +87,13 @@ type Config struct {
 	// SketchDisabled turns the sketch chain off (the histogram side path is
 	// unaffected).
 	SketchDisabled bool
+	// Durable attaches crash-safe persistence: the server adopts the
+	// manager's recovered catalog (so statistics survive restarts), journals
+	// every served scan's lifecycle at frame granularity, and matches resume
+	// offsets against in-flight scans a dead process left behind. All
+	// journal calls are asynchronous and nil-safe — a nil manager is the
+	// ephemeral, byte-identical-to-before configuration.
+	Durable *durable.Manager
 }
 
 func (c Config) withDefaults() Config {
@@ -220,10 +228,16 @@ func New(cfg Config) *Server {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New()
 	}
+	catalog := dbms.NewCatalog()
+	if cfg.Durable != nil {
+		// Startup recovery already ran inside durable.Open; adopting its
+		// catalog (journal attached) makes every future install durable.
+		catalog = cfg.Durable.Catalog()
+	}
 	s := &Server{
 		cfg:       cfg,
 		obs:       cfg.Obs,
-		catalog:   dbms.NewCatalog(),
+		catalog:   catalog,
 		tables:    make(map[string]*tableEntry),
 		drainSem:  make(chan struct{}, cfg.DrainWorkers),
 		listeners: make(map[net.Listener]struct{}),
@@ -640,8 +654,18 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 	inj := s.cfg.Faults.Fork(fmt.Sprintf("scan%d", id))
 
 	resumed := req.Offset > 0
+	start := int(req.Offset)
 	if resumed {
 		s.metrics.retriesServed.Add(1)
+		// Align the resume down to a frame boundary and announce the
+		// effective start before any pages move: the frames re-sent from
+		// here are byte-identical to the original delivery (same page
+		// windows, same checksum trailers), and the client skips the
+		// overlap it already verified.
+		start -= start % s.cfg.PagesPerFrame
+		if werr := WriteFrame(bw, FrameResumeInfo, EncodeResumeInfo(uint32(start))); werr != nil {
+			return werr
+		}
 	}
 	var sp *sidePath
 	if !resumed {
@@ -651,6 +675,25 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 		}
 	}
 
+	// Scan journal: with durability attached the scan's lifecycle rides the
+	// WAL at frame granularity, so a kill -9 mid-scan leaves a recoverable
+	// in-flight record a restarted server can match a resume against. A
+	// resume consumes the entry the dead process left behind; the journal
+	// entry for this serving attempt closes whichever way it exits — only a
+	// crash leaves it open, which is exactly what the journal records.
+	dm := s.cfg.Durable
+	if resumed {
+		if rec, ok := dm.AdoptRecovered(req.Table, req.Column); ok {
+			s.metrics.resumesAdopted.Add(1)
+			s.obs.Logger().Info("resume adopted recovered scan", "scan", id,
+				"journal", rec.ID, "table", req.Table, "column", req.Column,
+				"journal_pages", rec.Pages, "resume_page", req.Offset)
+		}
+	}
+	jid := dm.ScanStarted(req.Table, req.Column, uint32(start))
+	journalHW := uint32(start)
+	defer func() { dm.ScanEnded(jid, journalHW) }()
+
 	// sideWanted: a statistics refresh was requested and possible, so a
 	// scan that ends without one must say so (Degraded), whatever the
 	// reason — saturation, resumption, faults, or the watchdog.
@@ -658,7 +701,7 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 
 	si := tr.Begin("stream")
 	frame := make([]byte, 0, s.cfg.PagesPerFrame*(page.Size+PageChecksumSize))
-	for off := int(req.Offset); off < len(pages); off += s.cfg.PagesPerFrame {
+	for off := start; off < len(pages); off += s.cfg.PagesPerFrame {
 		end := off + s.cfg.PagesPerFrame
 		if end > len(pages) {
 			end = len(pages)
@@ -693,6 +736,8 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 		n := (end - off) * page.Size
 		sum.Pages += uint32(end - off)
 		sum.Bytes += uint64(n)
+		dm.ScanProgress(jid, uint32(end))
+		journalHW = uint32(end)
 		if sp != nil {
 			sp.feed(frame[:n], off, inj)
 		}
