@@ -19,6 +19,7 @@ import (
 	"streamhist/internal/hw"
 	"streamhist/internal/hwprof"
 	"streamhist/internal/obs"
+	"streamhist/internal/obs/timeline"
 	"streamhist/internal/page"
 	"streamhist/internal/sketch"
 	"streamhist/internal/stream"
@@ -362,24 +363,38 @@ func BenchmarkParallelDataPath(b *testing.B) {
 // observability layer on the 4-shard parallel data path: "noop" runs with a
 // nil registry (every instrument call degrades to a pointer check — the
 // obs-off configuration), "registry" with a live registry receiving the
-// per-scan counters, per-lane gauges, and the latency distribution. The two
-// ns/op figures should be within a few percent: instrumentation is charged
-// once per scan, never per page or per value.
+// per-scan counters, per-lane gauges, and the latency distribution, and
+// "timeline" additionally with a flight recorder taking one wide event per
+// scan and a running timeline sampling every instrument once per second on
+// its own goroutine. All ns/op figures should be within a few percent:
+// instrumentation is charged once per scan, never per page or per value,
+// and the timeline rides the sampling tick, never the data path.
 func BenchmarkParallelDataPathObs(b *testing.B) {
 	rel := tpch.Lineitem(100_000, 10, 305)
 	for _, mode := range []struct {
-		name string
-		reg  *obs.Registry
+		name  string
+		setup func(b *testing.B, dp *stream.ParallelDataPath)
 	}{
-		{"noop", nil},
-		{"registry", obs.NewRegistry()},
+		{"noop", func(b *testing.B, dp *stream.ParallelDataPath) {}},
+		{"registry", func(b *testing.B, dp *stream.ParallelDataPath) {
+			dp.Obs = obs.NewRegistry()
+		}},
+		{"timeline", func(b *testing.B, dp *stream.ParallelDataPath) {
+			reg := obs.NewRegistry()
+			fr := obs.NewFlightRecorder(0, 0)
+			tl := timeline.New(timeline.Config{Registry: reg, Flight: fr})
+			tl.Start()
+			b.Cleanup(tl.Close)
+			dp.Obs = reg
+			dp.Flight = fr
+		}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			dp, err := stream.NewParallelDataPath(rel, "l_quantity", stream.TenGbE, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
-			dp.Obs = mode.reg
+			mode.setup(b, dp)
 			b.ReportAllocs()
 			var res *stream.ParallelScanResult
 			for i := 0; i < b.N; i++ {

@@ -23,6 +23,14 @@
 //	histcli profile -addr localhost:7745 -top 20
 //	histcli profile -addr localhost:7745 -tree
 //	histcli profile -addr localhost:7745 -o hwprof.pb.gz
+//
+// The `top` subcommand is a live terminal dashboard over the server's
+// /timeline endpoint: one sparkline per metric at the chosen resolution,
+// redrawn every interval, newest window on the right:
+//
+//	histcli top -addr localhost:7745
+//	histcli top -addr localhost:7745 -res 10s -metrics streamhist_server_bytes_moved_total
+//	histcli top -addr localhost:7745 -n 1      # one frame, CI-friendly
 package main
 
 import (
@@ -52,6 +60,12 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:]); err != nil {
+			fatalf("top: %v", err)
+		}
+		return
+	}
 	kind := flag.String("kind", "all", "histogram kind: equidepth, maxdiff, compressed, topk, all")
 	buckets := flag.Int("buckets", 16, "number of buckets (B)")
 	topk := flag.Int("topk", 8, "frequency-list length (T)")
@@ -61,6 +75,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: histcli [flags] [file]")
 		fmt.Fprintln(os.Stderr, "       histcli metrics [-addr host:port] [-scans K] [-check] [-grep pattern]")
 		fmt.Fprintln(os.Stderr, "       histcli profile [-addr host:port] [-seconds N] [-top N | -tree | -o file]")
+		fmt.Fprintln(os.Stderr, "       histcli top     [-addr host:port] [-res R] [-interval D] [-n K] [-metrics a,b]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -37,6 +37,9 @@ type Client struct {
 	redials     *obs.Counter
 	badPages    *obs.Counter
 	scansFailed *obs.Counter
+	// scanSeq numbers this client's logical scans for its flight-recorder
+	// events (the server's events carry the server-side scan id).
+	scanSeq uint64
 }
 
 // SetObs wires the client's retry machinery into an observability bundle:
@@ -190,6 +193,35 @@ var errBadPage = fmt.Errorf("client: page failed checksum in flight")
 // server rejection (unknown table or column, bad resume offset) is terminal
 // and surfaces immediately, without consuming the retry budget.
 func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error) {
+	start := time.Now()
+	sum, err := c.scanWithRetry(table, column, sink)
+	// One wide event per logical scan (all redial rounds folded in), so the
+	// client's view of a scan joins the server's by table and wall-clock
+	// overlap even across process boundaries.
+	c.scanSeq++
+	ev := obs.ScanEvent{
+		ScanID: c.scanSeq, Source: "client", Table: table, Column: column,
+		StartNS: start.UnixNano(), WallNS: time.Since(start).Nanoseconds(),
+	}
+	if sum != nil {
+		ev.Pages, ev.Bytes, ev.Rows = sum.Pages, sum.Bytes, sum.Rows
+		ev.AccelCycles = sum.AccelCycles
+		ev.Refreshed, ev.Degraded = sum.Refreshed, sum.Degraded
+		ev.Retries = sum.Retries
+		ev.QuarantinedPages = sum.QuarantinedPages
+		ev.LanesRetired = sum.LanesRetired
+		ev.SkippedTuples = sum.SkippedTuples
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	c.o.FlightRec().Record(ev)
+	return sum, err
+}
+
+// scanWithRetry is Scan's redial loop, separated so the flight-recorder
+// event wraps every attempt.
+func (c *Client) scanWithRetry(table, column string, sink io.Writer) (*ScanSummary, error) {
 	var (
 		delivered uint64 // verified pages written to sink, all attempts
 		bytesOut  uint64

@@ -1,0 +1,120 @@
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamhist/internal/obs"
+)
+
+// gaugeValue scrapes reg and returns the value of the named series, failing
+// the test if the series is absent or the document is malformed.
+func gaugeValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := obs.ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not in exposition", name)
+	return 0
+}
+
+// TestDerivedDurabilityGauges covers the PR 9 satellite: the durability
+// internals the anomaly detectors watch must surface as computed gauges on
+// the registry handed to Open — queue depth, drop count, segment growth,
+// and checkpoint staleness. Open writes a verified baseline checkpoint, so
+// the age gauge reads a real (near-zero) age from the start; the -1
+// sentinel is reserved for the unverified-baseline degraded mode.
+func TestDerivedDurabilityGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := Open(t.TempDir(), Options{CheckpointInterval: -1, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if v := gaugeValue(t, reg, "streamhist_durable_checkpoint_age_seconds"); v < 0 || v > 60 {
+		t.Fatalf("checkpoint age after baseline checkpoint = %v, want small non-negative", v)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_wal_dropped_records"); v != 0 {
+		t.Fatalf("dropped records on fresh manager = %v, want 0", v)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_wal_queue_depth"); v != 0 {
+		t.Fatalf("queue depth after open = %v, want 0", v)
+	}
+
+	// Journal a mutation: the segment-bytes gauge must reflect the append.
+	m.Catalog().Put("lineitem", "l_quantity", testStats(1))
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_wal_segment_bytes"); v <= 0 {
+		t.Fatalf("segment bytes after journaled mutation = %v, want > 0", v)
+	}
+
+	// An explicit checkpoint rotates the segment: the epoch byte count
+	// resets and the staleness clock restarts.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_checkpoint_age_seconds"); v < 0 {
+		t.Fatalf("checkpoint age after checkpoint = %v, want >= 0", v)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_wal_segment_bytes"); v != 0 {
+		t.Fatalf("segment bytes after checkpoint rotation = %v, want 0", v)
+	}
+}
+
+// TestDerivedGaugesSurviveReopen exercises the re-registration path: a
+// restarted manager must rebind the gauge functions to its own state rather
+// than leaving them reading the closed instance.
+func TestDerivedGaugesSurviveReopen(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	m, err := Open(dir, Options{CheckpointInterval: -1, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog().Put("orders", "o_totalprice", testStats(2))
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(dir, Options{CheckpointInterval: -1, Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	// The gauges must read the NEW manager's state: fresh epoch (no bytes
+	// appended yet) and a baseline-checkpoint age taken by this incarnation.
+	if v := gaugeValue(t, reg, "streamhist_durable_wal_segment_bytes"); v != 0 {
+		t.Fatalf("segment bytes after reopen = %v, want 0 (rebound to new manager)", v)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_checkpoint_age_seconds"); v < 0 || v > 60 {
+		t.Fatalf("checkpoint age after reopen = %v, want small non-negative", v)
+	}
+	if v := gaugeValue(t, reg, "streamhist_durable_wal_queue_depth"); v != 0 {
+		t.Fatalf("queue depth after reopen = %v, want 0", v)
+	}
+}

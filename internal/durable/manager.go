@@ -189,6 +189,10 @@ type Manager struct {
 	epochBytes atomic.Int64 // WAL bytes since the last rotation
 	dropped    atomic.Int64
 	lossyEpoch atomic.Bool
+	// lastCkpt is the wall-clock instant of the last verified checkpoint
+	// (unix nanoseconds; 0 until the first one lands). It backs the
+	// checkpoint-age gauge the timeline's anomaly engine watches.
+	lastCkpt atomic.Int64
 
 	scanMu    sync.Mutex
 	openScans map[uint64]*ScanState
@@ -264,8 +268,35 @@ func Open(dir string, opts Options) (*Manager, error) {
 	}
 
 	cat.SetJournal(m)
+	m.registerDerivedGauges(opts.Reg)
 	go m.runCheckpointer()
 	return m, nil
+}
+
+// registerDerivedGauges exports the durability internals the timeline's
+// anomaly detectors watch: live queue pressure, loss, segment growth, and
+// checkpoint staleness. These are computed gauges over the manager's own
+// state — re-registration on reopen replaces the functions, so a restarted
+// manager re-wires cleanly.
+func (m *Manager) registerDerivedGauges(reg *obs.Registry) {
+	reg.GaugeFunc("streamhist_durable_wal_queue_depth",
+		"WAL records currently waiting in the writer queue.",
+		func() float64 { return float64(len(m.ch)) })
+	reg.GaugeFunc("streamhist_durable_wal_dropped_records",
+		"WAL records dropped since open (gauge view of the drop counter, for dashboards that difference gauges).",
+		func() float64 { return float64(m.dropped.Load()) })
+	reg.GaugeFunc("streamhist_durable_wal_segment_bytes",
+		"WAL bytes appended since the last segment rotation.",
+		func() float64 { return float64(m.epochBytes.Load()) })
+	reg.GaugeFunc("streamhist_durable_checkpoint_age_seconds",
+		"Seconds since the last verified checkpoint (-1 until the first lands).",
+		func() float64 {
+			t := m.lastCkpt.Load()
+			if t == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, t)).Seconds()
+		})
 }
 
 // Catalog returns the recovered (and henceforth journaled) catalog.
@@ -536,6 +567,7 @@ func (m *Manager) checkpoint() error {
 		}
 	}
 	m.prevCkptSeq = ack.seq
+	m.lastCkpt.Store(time.Now().UnixNano())
 	m.met.checkpoints.Inc()
 	m.met.ckptBytes.Set(int64(len(enc)))
 	m.met.ckptSeconds.Observe(int64(time.Since(start)))

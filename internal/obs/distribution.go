@@ -131,6 +131,42 @@ func (d *Distribution) Quantile(q float64) int64 {
 	return v
 }
 
+// DistNumBins is the fixed bin count of every Distribution: the size of the
+// counts slice CountsInto fills. Exported for the timeline's window
+// accumulators, which mirror the same geometry.
+const DistNumBins = distNumBins
+
+// DistBinLow returns the lowest value mapping to bin i — the representative
+// value the timeline's window-merged quantile reconstruction keys its
+// run-length bins by. Monotonically increasing in i.
+func DistBinLow(i int) int64 { return distLow(i) }
+
+// CountsInto copies the distribution's raw per-bin counters into buf, which
+// must have length DistNumBins, and returns the observation count and sum at
+// the same moment (each bin read once, atomically — the usual
+// consistent-enough monitoring snapshot). Nil receivers zero the buffer.
+func (d *Distribution) CountsInto(buf []int64) (count, sum int64) {
+	if d == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return 0, 0
+	}
+	for i := 0; i < distNumBins && i < len(buf); i++ {
+		buf[i] = d.bin[i].Load()
+	}
+	return d.count.Load(), d.sum.Load()
+}
+
+// Scale returns the exposition multiplier the distribution was registered
+// with (e.g. 1e-9 for observe-nanoseconds-expose-seconds).
+func (d *Distribution) Scale() float64 {
+	if d == nil || d.scale == 0 {
+		return 1
+	}
+	return d.scale
+}
+
 // distQuantileBuckets is the equi-depth resolution used for scrape-time
 // quantiles; 64 buckets bounds per-bucket mass at ~1.6% of observations.
 const distQuantileBuckets = 64

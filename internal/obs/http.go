@@ -13,6 +13,8 @@ import (
 //	/metrics        Prometheus text exposition of every registered metric
 //	/healthz        200 "ok" (or 503 + reason when healthy() returns an error)
 //	/scans          recent scan traces as JSON, newest first (?n=K, default 32)
+//	/events         flight-recorder wide events as JSON, newest first
+//	                (?n=K, default 64); tail-sampled, anomalous scans always kept
 //	/debug/hwprof   simulated-hardware cycle profile in pprof wire format
 //	                (?seconds=N for a delta window, ?format=text for the
 //	                line-oriented form histcli's renderers consume)
@@ -57,6 +59,26 @@ func Handler(o *Obs, healthy func() error) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(traces)
+	})
+
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "events: n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		events := o.FlightRec().Recent(n)
+		if events == nil {
+			events = []ScanEvent{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(events)
 	})
 
 	mux.HandleFunc("/debug/hwprof", func(w http.ResponseWriter, r *http.Request) {

@@ -12,17 +12,24 @@ import (
 // logger. A nil *Obs is valid everywhere (all accessors degrade to no-ops),
 // so components accept one without guarding.
 type Obs struct {
-	Reg   *Registry
-	Trace *Tracer
-	Prof  *hwprof.Profiler
-	Log   *slog.Logger
+	Reg    *Registry
+	Trace  *Tracer
+	Prof   *hwprof.Profiler
+	Log    *slog.Logger
+	Flight *FlightRecorder
 }
 
 // New returns a fully wired Obs: fresh registry, a DefaultTraceRing-deep
-// tracer, a hardware-cycle profiler, and a no-op logger (replace Log to get
-// output).
+// tracer, a hardware-cycle profiler, an always-on flight recorder, and a
+// no-op logger (replace Log to get output).
 func New() *Obs {
-	return &Obs{Reg: NewRegistry(), Trace: NewTracer(0), Prof: hwprof.New(), Log: NopLogger()}
+	return &Obs{
+		Reg:    NewRegistry(),
+		Trace:  NewTracer(0),
+		Prof:   hwprof.New(),
+		Log:    NopLogger(),
+		Flight: NewFlightRecorder(0, 0),
+	}
 }
 
 // Registry returns the bundle's registry; nil for a nil bundle.
@@ -48,6 +55,15 @@ func (o *Obs) Profiler() *hwprof.Profiler {
 		return nil
 	}
 	return o.Prof
+}
+
+// FlightRec returns the bundle's scan flight recorder; nil for a nil bundle
+// (a nil recorder is itself a valid no-op).
+func (o *Obs) FlightRec() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }
 
 // Logger returns the bundle's logger, or the shared no-op logger when the

@@ -300,6 +300,55 @@ func (r *Registry) Distribution(name, help string, scale float64) *Distribution 
 	return r.register(name, help, kindDist, scale).dist
 }
 
+// SampleKind discriminates what a Sample carries.
+type SampleKind uint8
+
+const (
+	// SampleCounter marks a cumulative value (timeline consumers take
+	// deltas between samples).
+	SampleCounter SampleKind = iota
+	// SampleGauge marks a point-in-time value (gauges and gauge funcs).
+	SampleGauge
+	// SampleDist marks a distribution; Dist is set instead of Value.
+	SampleDist
+)
+
+// Sample is one instrument's scrape-time reading, the unit the timeline
+// sampler consumes. Counters and gauges carry Value; distributions carry the
+// live *Distribution so the consumer can snapshot its bins.
+type Sample struct {
+	Name string
+	Kind SampleKind
+	// Value is the instrument reading for counters, gauges, and gauge funcs.
+	Value float64
+	// Dist is the live distribution for SampleDist entries.
+	Dist *Distribution
+}
+
+// Samples appends one Sample per registered instrument to buf (reusing its
+// capacity) and returns the extended slice, in registration order. It takes
+// the registration lock only to copy the entry list; the instrument reads
+// are the same lock-free atomics a scrape performs. A nil registry returns
+// buf unchanged.
+func (r *Registry) Samples(buf []Sample) []Sample {
+	if r == nil {
+		return buf
+	}
+	for _, m := range r.snapshot() {
+		switch m.kind {
+		case kindCounter:
+			buf = append(buf, Sample{Name: m.name, Kind: SampleCounter, Value: float64(m.counter.Value())})
+		case kindGauge:
+			buf = append(buf, Sample{Name: m.name, Kind: SampleGauge, Value: float64(m.gauge.Value())})
+		case kindGaugeFunc:
+			buf = append(buf, Sample{Name: m.name, Kind: SampleGauge, Value: m.fnValue()})
+		case kindDist:
+			buf = append(buf, Sample{Name: m.name, Kind: SampleDist, Dist: m.dist})
+		}
+	}
+	return buf
+}
+
 // snapshot returns the ordered metric list for the exposition writer.
 func (r *Registry) snapshot() []*metric {
 	r.mu.RLock()

@@ -1,0 +1,170 @@
+package timeline
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// bundleManifest is the top-level anomaly.json of a debug bundle: the
+// verdict that tripped, plus enough identity to line the bundle up with
+// logs and traces from the same instant.
+type bundleManifest struct {
+	Anomaly   Anomaly  `json:"anomaly"`
+	WrittenMS int64    `json:"written_ms"`
+	Trips     uint64   `json:"trips_total"`
+	Files     []string `json:"files"`
+}
+
+// writeBundleLocked writes a self-contained debug bundle for a — a directory
+// under cfg.BundleDir holding the verdict, a full timeline slice, the flight
+// recorder's retained events, and heap + simulated-hardware profiles in
+// pprof format — then prunes the oldest bundles beyond BundleLimit and
+// records the bundle path in a.Bundle. Caller holds t.mu; bundle writes are
+// rare (cooldown-debounced) so the held lock is cheaper than a consistent
+// copy of every series.
+func (t *Timeline) writeBundleLocked(a *Anomaly, now time.Time) {
+	dir := t.cfg.BundleDir
+	if dir == "" {
+		return
+	}
+	t.eng.bundleSeq++
+	name := filepath.Join(dir, bundleName(t.eng.bundleSeq, a.Detector, now))
+	if err := os.MkdirAll(name, 0o755); err != nil {
+		t.cfg.Log.Warn("debug bundle failed", "dir", name, "err", err)
+		return
+	}
+
+	man := bundleManifest{Anomaly: *a, WrittenMS: now.UnixMilli(), Trips: t.eng.trips}
+
+	// Timeline slice: every tracked series at every resolution.
+	var slice []SeriesData
+	for _, s := range t.order {
+		for _, r := range t.res {
+			if sd, ok := t.seriesLocked(s.name, r.Label()); ok {
+				slice = append(slice, sd)
+			}
+		}
+	}
+	if writeJSON(filepath.Join(name, "timeline.json"), slice) == nil {
+		man.Files = append(man.Files, "timeline.json")
+	}
+
+	// Flight-recorder dump: every retained wide event.
+	if evs := t.cfg.Flight.Recent(1 << 20); len(evs) > 0 {
+		if writeJSON(filepath.Join(name, "events.json"), evs) == nil {
+			man.Files = append(man.Files, "events.json")
+		}
+	}
+
+	// Recent anomaly history (this trip is appended after the bundle write,
+	// so the file holds the trips that preceded it).
+	if e := t.eng; e.n > 0 {
+		hist := make([]Anomaly, 0, e.n)
+		for i := 0; i < e.n; i++ {
+			idx := i
+			if e.n == len(e.ring) {
+				idx = (e.next + i) % len(e.ring)
+			}
+			hist = append(hist, e.ring[idx])
+		}
+		if writeJSON(filepath.Join(name, "anomalies.json"), hist) == nil {
+			man.Files = append(man.Files, "anomalies.json")
+		}
+	}
+
+	// Simulated-hardware cycle profile, pprof wire format.
+	if p := t.cfg.Prof; p != nil && p.TotalCycles() > 0 {
+		if f, err := os.Create(filepath.Join(name, "hwprof.pb.gz")); err == nil {
+			if p.Snapshot().WritePprof(f) == nil {
+				man.Files = append(man.Files, "hwprof.pb.gz")
+			}
+			f.Close()
+		}
+	}
+
+	// Live heap profile — standard runtime pprof, always `go tool pprof`-able.
+	if f, err := os.Create(filepath.Join(name, "heap.pb.gz")); err == nil {
+		if pprof.WriteHeapProfile(f) == nil {
+			man.Files = append(man.Files, "heap.pb.gz")
+		}
+		f.Close()
+	}
+
+	// Goroutine dump for hang diagnosis.
+	if f, err := os.Create(filepath.Join(name, "goroutines.txt")); err == nil {
+		if pprof.Lookup("goroutine").WriteTo(f, 1) == nil {
+			man.Files = append(man.Files, "goroutines.txt")
+		}
+		f.Close()
+	}
+
+	a.Bundle = name
+	man.Anomaly.Bundle = name
+	writeJSON(filepath.Join(name, "anomaly.json"), man)
+
+	t.pruneBundles(dir)
+}
+
+// bundleName builds a sortable directory name: zero-padded sequence first so
+// lexical order is creation order, then the detector and a wall-clock stamp
+// for the humans.
+func bundleName(seq uint64, detector string, now time.Time) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, detector)
+	return "bundle-" + pad6(seq) + "-" + safe + "-" + now.UTC().Format("20060102T150405")
+}
+
+func pad6(n uint64) string {
+	s := make([]byte, 6)
+	for i := 5; i >= 0; i-- {
+		s[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(s)
+}
+
+// pruneBundles removes the oldest bundle directories beyond BundleLimit.
+func (t *Timeline) pruneBundles(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "bundle-") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) <= t.cfg.BundleLimit {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names[:len(names)-t.cfg.BundleLimit] {
+		os.RemoveAll(filepath.Join(dir, n))
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,132 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"streamhist/internal/obs"
+	"streamhist/internal/server"
+)
+
+// logCapture is a slog.Handler that keeps every record's message and the
+// value of its "scan" attribute, so tests can join log lines with traces.
+type logCapture struct {
+	mu      sync.Mutex
+	records []capturedRecord
+}
+
+type capturedRecord struct {
+	msg    string
+	scanID uint64
+	hasID  bool
+}
+
+func (h *logCapture) Enabled(context.Context, slog.Level) bool { return true }
+func (h *logCapture) WithAttrs([]slog.Attr) slog.Handler       { return h }
+func (h *logCapture) WithGroup(string) slog.Handler            { return h }
+func (h *logCapture) Handle(_ context.Context, r slog.Record) error {
+	cr := capturedRecord{msg: r.Message}
+	r.Attrs(func(a slog.Attr) bool {
+		if a.Key == "scan" {
+			switch a.Value.Kind() {
+			case slog.KindUint64:
+				cr.scanID, cr.hasID = a.Value.Uint64(), true
+			case slog.KindInt64:
+				cr.scanID, cr.hasID = uint64(a.Value.Int64()), true
+			}
+		}
+		return true
+	})
+	h.mu.Lock()
+	h.records = append(h.records, cr)
+	h.mu.Unlock()
+	return nil
+}
+
+// TestScanIDJoinsLogTraceAndEvent proves the PR's correlation contract: a
+// served scan carries ONE id across its slog record, its ScanTrace (served
+// by /scans), and its flight-recorder wide event (served by /events).
+func TestScanIDJoinsLogTraceAndEvent(t *testing.T) {
+	capture := &logCapture{}
+	o := obs.New()
+	o.Log = slog.New(capture)
+
+	srv := server.New(server.Config{Obs: o})
+	if err := srv.Register(testRelation(2000)); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := pipeClient(srv)
+	var sink bytes.Buffer
+	if _, err := c.Scan("synthetic", "c1", &sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wide event. The server records it in a deferred block after the
+	// summary frame is already on the wire, so poll briefly.
+	var ev *obs.ScanEvent
+	deadline := time.Now().Add(2 * time.Second)
+	for ev == nil && time.Now().Before(deadline) {
+		evs := o.Flight.Recent(8)
+		for i := range evs {
+			if evs[i].Source == "server" {
+				ev = &evs[i]
+				break
+			}
+		}
+		if ev == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if ev == nil {
+		t.Fatal("no server wide event recorded")
+	}
+
+	// The trace, via the public /scans surface (includes the id).
+	rec := httptest.NewRecorder()
+	obs.Handler(o, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/scans", nil))
+	var traces []obs.ScanTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("decoding /scans: %v", err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("/scans empty")
+	}
+	trace := traces[0]
+
+	// The log record lands right after the event in the same deferred block.
+	var logged *capturedRecord
+	for logged == nil && time.Now().Before(deadline) {
+		capture.mu.Lock()
+		for i := range capture.records {
+			if capture.records[i].msg == "scan served" && capture.records[i].hasID {
+				cr := capture.records[i]
+				logged = &cr
+			}
+		}
+		capture.mu.Unlock()
+		if logged == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if logged == nil {
+		t.Fatalf("no 'scan served' log record with a scan attr: %+v", capture.records)
+	}
+
+	if ev.ScanID != trace.ID || trace.ID != logged.scanID {
+		t.Errorf("scan ids diverge: event=%d trace=%d log=%d", ev.ScanID, trace.ID, logged.scanID)
+	}
+	if ev.Table != "synthetic" || ev.Pages == 0 || ev.Bytes == 0 {
+		t.Errorf("wide event not filled in: %+v", ev)
+	}
+	if ev.Spans == nil {
+		t.Error("wide event carries no span timings")
+	}
+}

@@ -597,6 +597,7 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 	id := uint64(s.scanSeq.Add(1))
 	tr := s.obs.Tracer().Start(id, req.Table, req.Column, s.cfg.ShardLanes+4)
 	scanStart := time.Now()
+	resumed := req.Offset > 0
 	var sum ScanSummary
 	// failure captures request-level errors that are reported to the client
 	// in-band (the connection stays usable, so err stays nil).
@@ -616,6 +617,30 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 		}
 		s.obs.Tracer().Publish(tr)
 		s.metrics.scanLatency.Observe(time.Since(scanStart).Nanoseconds())
+		// The wide event: everything this scan did in one flight-recorder
+		// row, keyed by the same id as the trace and the log records. The
+		// trace is published (immutable) by now, so sharing its span slice
+		// is safe.
+		ev := obs.ScanEvent{
+			ScanID: id, Source: "server",
+			Table: req.Table, Column: req.Column,
+			StartNS: scanStart.UnixNano(), WallNS: time.Since(scanStart).Nanoseconds(),
+			Pages: sum.Pages, Bytes: sum.Bytes, Rows: sum.Rows,
+			AccelCycles: sum.AccelCycles,
+			Refreshed:   sum.Refreshed, Degraded: sum.Degraded, Resumed: resumed,
+			QuarantinedPages: sum.QuarantinedPages, LanesRetired: sum.LanesRetired,
+			SkippedTuples: sum.SkippedTuples,
+		}
+		if conn != nil && conn.RemoteAddr() != nil {
+			ev.Client = conn.RemoteAddr().String()
+		}
+		if fail != nil {
+			ev.Err = fail.Error()
+		}
+		if tr != nil {
+			ev.Spans = tr.Spans
+		}
+		s.obs.FlightRec().Record(ev)
 		log := s.obs.Logger()
 		if fail != nil {
 			log.Warn("scan failed", "scan", id, "table", req.Table,
@@ -653,7 +678,6 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 
 	inj := s.cfg.Faults.Fork(fmt.Sprintf("scan%d", id))
 
-	resumed := req.Offset > 0
 	start := int(req.Offset)
 	if resumed {
 		s.metrics.retriesServed.Add(1)

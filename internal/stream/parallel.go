@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamhist/internal/bins"
@@ -64,6 +65,11 @@ type ParallelDataPath struct {
 	// duration distribution. All updates happen once per Scan, after the
 	// fan-in — never on the per-page hot path.
 	Obs *obs.Registry
+	// Flight, when non-nil, receives one wide event per completed scan —
+	// the same one-struct-copy-at-the-tail discipline as the server's
+	// recorder, keyed by a path-local scan sequence. Nil keeps the
+	// zero-overhead baseline.
+	Flight *obs.FlightRecorder
 	// Prof, when non-nil, receives the cycle attribution of every scan:
 	// each surviving lane's pipeline decomposition under its "lane<i>"
 	// frame (the inline replay lane under "inline"), and the aggregation
@@ -84,6 +90,10 @@ type ParallelDataPath struct {
 	// scan is pure overhead on the host path. Guarded for concurrent Scans.
 	pageCacheMu sync.Mutex
 	pageCache   []*page.Page
+
+	// scanSeq numbers this path's scans for flight-recorder correlation when
+	// the path runs standalone (the server keys events by its own scan id).
+	scanSeq atomic.Uint64
 }
 
 // encodedPages returns the relation's page images, encoding them on first
@@ -606,6 +616,22 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 // scan-latency distribution. Runs once per Scan, entirely off the data path;
 // a nil registry makes every call here a no-op.
 func (d *ParallelDataPath) instrument(res *ParallelScanResult, wall time.Duration) {
+	if d.Flight != nil {
+		ev := obs.ScanEvent{
+			ScanID: d.scanSeq.Add(1), Source: "stream",
+			Table:   d.Rel.Name,
+			Column:  d.Column,
+			StartNS: time.Now().Add(-wall).UnixNano(), WallNS: wall.Nanoseconds(),
+			Bytes:          uint64(res.HostBytes),
+			LanesRetired:   uint32(res.LanesRetired),
+			ReplayedChunks: uint32(res.ReplayedChunks),
+		}
+		if res.Results != nil {
+			ev.Rows = uint64(res.Results.BinnerStats.Items)
+			ev.AccelCycles = uint64(res.Results.BinnerStats.Cycles)
+		}
+		d.Flight.Record(ev)
+	}
 	reg := d.Obs
 	if reg == nil {
 		return
