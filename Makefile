@@ -5,7 +5,7 @@
 
 GO ?= go
 FUZZTIME ?= 30s
-BENCHJSON ?= BENCH_PR9.json
+BENCHJSON ?= BENCH_PR10.json
 
 # Perf-gate settings. The gated subset is the hot-path suite (the parallel
 # data path with and without the sketch chain, plus the Table 1 binner

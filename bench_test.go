@@ -366,9 +366,12 @@ func BenchmarkParallelDataPath(b *testing.B) {
 // per-scan counters, per-lane gauges, and the latency distribution, and
 // "timeline" additionally with a flight recorder taking one wide event per
 // scan and a running timeline sampling every instrument once per second on
-// its own goroutine. All ns/op figures should be within a few percent:
-// instrumentation is charged once per scan, never per page or per value,
-// and the timeline rides the sampling tick, never the data path.
+// its own goroutine, and "tracing" layers a live tracer on top of "registry"
+// so every scan records a full distributed span tree (root, phases, one span
+// per lane) and a latency exemplar. All ns/op figures should be within a few
+// percent: instrumentation is charged once per scan, never per page or per
+// value, the timeline rides the sampling tick, never the data path, and a
+// traced scan pays one slab allocation plus a handful of clock reads.
 func BenchmarkParallelDataPathObs(b *testing.B) {
 	rel := tpch.Lineitem(100_000, 10, 305)
 	for _, mode := range []struct {
@@ -387,6 +390,10 @@ func BenchmarkParallelDataPathObs(b *testing.B) {
 			b.Cleanup(tl.Close)
 			dp.Obs = reg
 			dp.Flight = fr
+		}},
+		{"tracing", func(b *testing.B, dp *stream.ParallelDataPath) {
+			dp.Obs = obs.NewRegistry()
+			dp.Trace = obs.NewTracer(0)
 		}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {

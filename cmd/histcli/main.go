@@ -31,6 +31,14 @@
 //	histcli top -addr localhost:7745
 //	histcli top -addr localhost:7745 -res 10s -metrics streamhist_server_bytes_moved_total
 //	histcli top -addr localhost:7745 -n 1      # one frame, CI-friendly
+//
+// The `trace` subcommand fetches one assembled distributed trace (originate
+// with `histserved scan -trace`) and renders it as a terminal waterfall, or
+// exports/validates the Chrome trace-event JSON for Perfetto:
+//
+//	histcli trace -addr localhost:7745 3c5f9a2b41d07e68
+//	histcli trace -addr localhost:7745 -tracez -o trace.json 3c5f9a2b41d07e68
+//	histcli trace -addr localhost:7745 -check 3c5f9a2b41d07e68   # CI gate
 package main
 
 import (
@@ -66,6 +74,12 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fatalf("trace: %v", err)
+		}
+		return
+	}
 	kind := flag.String("kind", "all", "histogram kind: equidepth, maxdiff, compressed, topk, all")
 	buckets := flag.Int("buckets", 16, "number of buckets (B)")
 	topk := flag.Int("topk", 8, "frequency-list length (T)")
@@ -76,6 +90,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       histcli metrics [-addr host:port] [-scans K] [-check] [-grep pattern]")
 		fmt.Fprintln(os.Stderr, "       histcli profile [-addr host:port] [-seconds N] [-top N | -tree | -o file]")
 		fmt.Fprintln(os.Stderr, "       histcli top     [-addr host:port] [-res R] [-interval D] [-n K] [-metrics a,b]")
+		fmt.Fprintln(os.Stderr, "       histcli trace   [-addr host:port] [-tracez] [-check] [-o file] <trace-id>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

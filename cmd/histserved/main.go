@@ -73,11 +73,19 @@ func usage() {
                     [-no-durability] [-no-timeline] [-timeline-rings SPEC]
                     [-flight-ring N] [-flight-sample N] [-bundle-dir DIR]
   histserved tables [-addr host:port]                   list served tables
-  histserved scan   [-addr host:port] [-o file] <table> <column>
+  histserved scan   [-addr host:port] [-o file] [-trace] <table> <column>
   histserved stats  [-addr host:port] <table> <column>
 
+scan -trace originates a distributed trace: the trace id rides the request
+frame, the server continues the trace, and the client ships its spans back
+on scan close. The printed id is fetchable as an assembled span tree at
+/traces?id= and as Perfetto-loadable JSON at /debug/tracez?id= on the
+server's -metrics-addr.
+
 -metrics-addr exposes live introspection over HTTP: /metrics (Prometheus
-text), /scans (recent scan traces as JSON), /events (flight-recorder wide
+text, with trace-id exemplars on distribution tails), /scans (recent scan
+traces as JSON), /traces (assembled distributed traces by id), /debug/tracez
+(Chrome trace-event JSON for Perfetto), /events (flight-recorder wide
 events), /timeline (multi-resolution metrics history), /anomalies (detector
 trips), /healthz, /debug/hwprof (simulated-hardware cycle profile in pprof
 format), /debug/pprof/*.
@@ -218,6 +226,7 @@ func runServe(args []string) error {
 			Registry:    o.Registry(),
 			Flight:      o.FlightRec(),
 			Prof:        o.Profiler(),
+			Tracer:      o.Tracer(),
 			Log:         log,
 			BundleDir:   bdir,
 		})
@@ -236,7 +245,7 @@ func runServe(args []string) error {
 		defer msrv.Close()
 		log.Info("introspection endpoints up",
 			"addr", mln.Addr().String(),
-			"endpoints", "/metrics /scans /events /timeline /anomalies /healthz /debug/hwprof /debug/pprof/")
+			"endpoints", "/metrics /scans /traces /events /timeline /anomalies /healthz /debug/tracez /debug/hwprof /debug/pprof/")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -267,6 +276,7 @@ func runScan(args []string) error {
 	fs := flag.NewFlagSet("scan", flag.ExitOnError)
 	addr := dialFlag(fs)
 	out := fs.String("o", "", "write received pages to file (default: discard)")
+	trace := fs.Bool("trace", false, "originate a distributed trace (prints the trace id; fetch it via /traces?id= on the server's metrics address)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("scan needs <table> <column> (use column '' to skip statistics)")
@@ -276,6 +286,9 @@ func runScan(args []string) error {
 		return err
 	}
 	defer c.Close()
+	if *trace {
+		c.EnableTracing()
+	}
 
 	var sink io.Writer = io.Discard
 	if *out != "" {
@@ -293,6 +306,9 @@ func runScan(args []string) error {
 	}
 	fmt.Printf("scanned %s.%s: %d pages, %d bytes, %d rows binned\n",
 		fs.Arg(0), fs.Arg(1), sum.Pages, sum.Bytes, sum.Rows)
+	if *trace {
+		fmt.Printf("trace id: %016x\n", c.LastTraceID())
+	}
 	if sum.Retries > 0 {
 		fmt.Printf("scan resumed %d time(s) after mid-stream failures; every delivered page verified\n", sum.Retries)
 	}

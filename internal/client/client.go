@@ -40,7 +40,35 @@ type Client struct {
 	// scanSeq numbers this client's logical scans for its flight-recorder
 	// events (the server's events carry the server-side scan id).
 	scanSeq uint64
+
+	// Distributed tracing state (EnableTracing): the client originates a
+	// trace per logical scan, records its own spans, and ships them back to
+	// the server in a trailer frame once the handshake proved the server
+	// tracing-capable.
+	tracing bool
+	// serverLegacy remembers a server that rejected the trace-context tail;
+	// every later request is sent in the legacy layout, byte-identical to a
+	// pre-tracing client.
+	serverLegacy bool
+	lastTraceID  uint64
+	ct           *obs.ScanTrace // the in-flight scan's client-side trace
+	ctRoot       int            // root span index in ct
+	// traceOK records whether the current attempt saw FrameTraceInfo — the
+	// server's half of the handshake, and the licence to send the trailer.
+	traceOK bool
 }
+
+// EnableTracing opts this client into distributed tracing: every Scan
+// originates a 64-bit trace ID, carries it to the server in the request's
+// trace context, records client-side spans (request, stream, sink, backoff,
+// redials), and ships them back on scan close. Against a server that
+// predates tracing the client falls back to the legacy request layout after
+// one rejected attempt and stays there for the connection's lifetime.
+func (c *Client) EnableTracing() { c.tracing = true }
+
+// LastTraceID returns the trace ID the most recent Scan originated (zero
+// before any traced scan) — the handle for /traces?id= on the server.
+func (c *Client) LastTraceID() uint64 { return c.lastTraceID }
 
 // SetObs wires the client's retry machinery into an observability bundle:
 // redials, in-flight checksum failures, and abandoned scans become counters,
@@ -194,14 +222,43 @@ var errBadPage = fmt.Errorf("client: page failed checksum in flight")
 // and surfaces immediately, without consuming the retry budget.
 func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error) {
 	start := time.Now()
+	// The scan id is assigned before any work so the retry loop's log
+	// records carry it (they used to log without one).
+	c.scanSeq++
+	if c.tracing {
+		traceID := obs.NewTraceID()
+		c.lastTraceID = traceID
+		c.ct = obs.StartScanTrace(c.scanSeq, table, column, 16)
+		c.ct.EnableTrace(traceID, 0, obs.SpanSideClient)
+		c.ctRoot = c.ct.BeginRoot("scan")
+	}
 	sum, err := c.scanWithRetry(table, column, sink)
+	if ct := c.ct; ct != nil {
+		c.ct = nil
+		ct.End(c.ctRoot, 0)
+		if err != nil {
+			ct.Err = err.Error()
+		}
+		if sum != nil {
+			ct.Refreshed, ct.Degraded = sum.Refreshed, sum.Degraded
+		}
+		// Publish into this process's own ring (nil-safe) so the client's
+		// /scans shows its half of the trace too, then ship the spans to
+		// the server — but only when the handshake proved it can take them.
+		c.o.Tracer().Publish(ct)
+		if err == nil && c.traceOK {
+			c.sendTraceReport(ct)
+		}
+	}
 	// One wide event per logical scan (all redial rounds folded in), so the
 	// client's view of a scan joins the server's by table and wall-clock
 	// overlap even across process boundaries.
-	c.scanSeq++
 	ev := obs.ScanEvent{
 		ScanID: c.scanSeq, Source: "client", Table: table, Column: column,
 		StartNS: start.UnixNano(), WallNS: time.Since(start).Nanoseconds(),
+	}
+	if c.tracing {
+		ev.TraceID = c.lastTraceID
 	}
 	if sum != nil {
 		ev.Pages, ev.Bytes, ev.Rows = sum.Pages, sum.Bytes, sum.Rows
@@ -217,6 +274,38 @@ func (c *Client) Scan(table, column string, sink io.Writer) (*ScanSummary, error
 	}
 	c.o.FlightRec().Record(ev)
 	return sum, err
+}
+
+// sendTraceReport ships the client's recorded spans back to the server in a
+// FrameTraceReport trailer. Strictly fail-open: the scan already succeeded,
+// so a failed or refused trailer only costs trace completeness — the error
+// is logged at debug level and dropped, and no response is ever read (the
+// server never writes one).
+func (c *Client) sendTraceReport(ct *obs.ScanTrace) {
+	spans := ct.Spans
+	if len(spans) > server.MaxTraceReportSpans {
+		spans = spans[:server.MaxTraceReportSpans]
+	}
+	payload := server.EncodeTraceReport(server.TraceReport{TraceID: ct.TraceID, Spans: spans})
+	if err := c.send(server.FrameTraceReport, payload); err != nil {
+		c.o.Logger().Debug("trace report dropped", "scan", ct.ID, "err", err.Error())
+	}
+}
+
+// timedWriter wraps the scan sink to time its writes: the window from the
+// first to the last sink write becomes the client's "sink" span.
+type timedWriter struct {
+	w           io.Writer
+	first, last int64
+}
+
+func (tw *timedWriter) Write(p []byte) (int, error) {
+	if tw.first == 0 {
+		tw.first = time.Now().UnixNano()
+	}
+	n, err := tw.w.Write(p)
+	tw.last = time.Now().UnixNano()
+	return n, err
 }
 
 // scanWithRetry is Scan's redial loop, separated so the flight-recorder
@@ -241,6 +330,20 @@ func (c *Client) scanWithRetry(table, column string, sink io.Writer) (*ScanSumma
 		if errors.Is(err, errBadPage) {
 			c.badPages.Inc()
 		}
+		if c.attachTrace() && errors.Is(err, server.ErrBadRequest) {
+			var reply *serverReplyError
+			if errors.As(err, &reply) {
+				// The server rejected a request whose only novelty was the
+				// trace-context tail: it predates tracing. Fall back to the
+				// legacy layout once — every subsequent request is
+				// byte-identical to an untraced client's — and re-send
+				// immediately, outside the stall budget.
+				c.serverLegacy = true
+				c.o.Logger().Warn("server rejected trace context, retrying legacy",
+					"scan", c.scanSeq, "table", table, "column", column)
+				continue
+			}
+		}
 		if delivered > before {
 			// Forward progress: the failure budget is for getting stuck,
 			// not for how often a long scan trips, so it resets — the loop
@@ -252,48 +355,94 @@ func (c *Client) scanWithRetry(table, column string, sink io.Writer) (*ScanSumma
 		}
 		if !retryable(err) || c.redial == nil || stalled >= c.maxAttempts {
 			c.scansFailed.Inc()
-			c.o.Logger().Warn("scan abandoned", "table", table, "column", column,
-				"retries", retries, "delivered_pages", delivered, "err", err.Error())
+			c.o.Logger().Warn("scan abandoned", "scan", c.scanSeq, "table", table,
+				"column", column, "retries", retries, "delivered_pages", delivered,
+				"err", err.Error())
 			return nil, err
 		}
 		retries++
 		c.redials.Inc()
-		c.o.Logger().Warn("scan interrupted, redialling", "table", table,
-			"column", column, "resume_page", delivered, "backoff", backoff,
-			"err", err.Error())
+		c.o.Logger().Warn("scan interrupted, redialling", "scan", c.scanSeq,
+			"table", table, "column", column, "resume_page", delivered,
+			"backoff", backoff, "err", err.Error())
+		bi := c.ct.Begin("backoff")
 		time.Sleep(backoff)
+		c.ct.End(bi, 0)
 		backoff *= 2
-		if rerr := c.reconnect(); rerr != nil {
+		di := c.ct.Begin("redial")
+		rerr := c.reconnect()
+		c.ct.End(di, 0)
+		if rerr != nil {
 			c.scansFailed.Inc()
 			return nil, fmt.Errorf("%w (reconnect failed: %v)", err, rerr)
 		}
 	}
 }
 
+// attachTrace reports whether the next request should carry trace context:
+// tracing is on, a trace is in flight, and the server has not already
+// rejected the tail as a legacy peer.
+func (c *Client) attachTrace() bool {
+	return c.tracing && !c.serverLegacy && c.ct != nil
+}
+
 // scanAttempt runs one scan request starting at *delivered pages, sinking
 // every page it can verify and advancing the cursors as it goes. Any error
 // return leaves the cursors at the resume point.
 func (c *Client) scanAttempt(table, column string, sink io.Writer, delivered, bytesOut *uint64) (*ScanSummary, error) {
-	req := server.EncodeScanRequest(server.ScanRequest{
+	sreq := server.ScanRequest{
 		Table:  table,
 		Column: column,
 		Offset: uint32(*delivered),
-	})
-	if err := c.send(server.FrameScan, req); err != nil {
+	}
+	// Each attempt re-handshakes: a redial may land on a different (or
+	// differently-versioned) server, so the trailer licence never outlives
+	// the connection that granted it.
+	c.traceOK = false
+	if c.attachTrace() {
+		sreq.TraceID = c.ct.TraceID
+		sreq.ParentSpanID = c.ct.RootSpanID
+	}
+	ri := c.ct.Begin("request")
+	err := c.send(server.FrameScan, server.EncodeScanRequest(sreq))
+	c.ct.End(ri, 0)
+	if err != nil {
 		return nil, fmt.Errorf("client: sending SCAN: %w", err)
 	}
+	if c.ct != nil {
+		// Time the sink's writes: first-to-last write becomes the "sink"
+		// span, recorded however the attempt ends.
+		tw := &timedWriter{w: sink}
+		sink = tw
+		defer func() {
+			if tw.first != 0 {
+				c.ct.AddSpan("sink", -1, tw.first, tw.last, 0, false)
+			}
+		}()
+	}
+	si := c.ct.Begin("stream")
+	defer func() { c.ct.End(si, 0) }()
 	var received uint64 // page bytes this attempt, as the server counts them
 	// skip counts re-delivered duplicate pages still to swallow: a server
 	// that aligns the resume down to a frame boundary (FrameResumeInfo)
 	// re-sends pages the sink already holds. They are verified and counted
 	// as received — the server delivered them — but never sunk twice.
 	var skip uint64
+	vi := -1 // open "verify-skip" span while duplicates are being swallowed
 	for {
 		f, err := c.recv()
 		if err != nil {
 			return nil, fmt.Errorf("client: SCAN %s.%s: %w", table, column, err)
 		}
 		switch f.Type {
+		case server.FrameTraceInfo:
+			ti, err := server.DecodeTraceInfo(f.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("client: SCAN %s.%s: %w", table, column, err)
+			}
+			if c.ct != nil && ti.TraceID == c.ct.TraceID {
+				c.traceOK = true
+			}
 		case server.FrameResumeInfo:
 			start, err := server.DecodeResumeInfo(f.Payload)
 			if err != nil {
@@ -304,6 +453,9 @@ func (c *Client) scanAttempt(table, column string, sink io.Writer, delivered, by
 					server.ErrBadFrame, start, *delivered)
 			}
 			skip = *delivered - uint64(start)
+			if skip > 0 {
+				vi = c.ct.Begin("verify-skip")
+			}
 		case server.FramePages:
 			// Legacy unchecksummed frames: nothing to verify, sink as-is.
 			if len(f.Payload) == 0 {
@@ -360,6 +512,12 @@ func (c *Client) scanAttempt(table, column string, sink io.Writer, delivered, by
 			return &sum, nil
 		default:
 			return nil, fmt.Errorf("client: %w: unexpected frame type %d in scan", server.ErrBadFrame, f.Type)
+		}
+		if vi >= 0 && skip == 0 {
+			// The frame-aligned overlap has been re-verified; close the
+			// verify-skip span at the first frame past it.
+			c.ct.End(vi, 0)
+			vi = -1
 		}
 	}
 }

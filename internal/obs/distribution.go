@@ -2,7 +2,9 @@ package obs
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"streamhist/internal/bins"
 	"streamhist/internal/hist"
@@ -58,6 +60,63 @@ type Distribution struct {
 	count atomic.Int64
 	sum   atomic.Int64
 	bin   [distNumBins]atomic.Int64
+
+	// Exemplar slot, strictly off the Observe hot path: only
+	// ObserveWithExemplar (called at most once per scan, never per page)
+	// takes the mutex. See Exemplar for the retention policy.
+	exMu sync.Mutex
+	ex   Exemplar
+}
+
+// Exemplar links an observed tail value to the distributed trace that
+// produced it, in the OpenMetrics sense: a /metrics scrape of a latency
+// summary can jump straight to the trace behind its p99.
+type Exemplar struct {
+	// Value is the observed value in pre-scale units (the exposition
+	// multiplies by Scale, same as the quantile samples).
+	Value int64
+	// TraceID is the distributed trace the observation belonged to.
+	TraceID uint64
+	// WhenNS is when the exemplar was recorded (unix nanoseconds).
+	WhenNS int64
+}
+
+// exemplarTTL bounds how long a large exemplar shadows smaller, fresher
+// ones: after this window any traced observation may take the slot, so the
+// exposed exemplar always points at a recent trace even when the historic
+// tail was worse.
+const exemplarTTL = 60 * time.Second
+
+// ObserveWithExemplar records v like Observe and offers (v, traceID) to the
+// exemplar slot. Retention policy: the slot keeps the largest traced value
+// seen recently — a candidate replaces the incumbent when its value is at
+// least as large, or when the incumbent is older than a minute. Zero
+// traceIDs record the value but never touch the slot. Nil-safe.
+func (d *Distribution) ObserveWithExemplar(v int64, traceID uint64) {
+	d.Observe(v)
+	if d == nil || traceID == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	now := time.Now().UnixNano()
+	d.exMu.Lock()
+	if v >= d.ex.Value || d.ex.TraceID == 0 || now-d.ex.WhenNS > int64(exemplarTTL) {
+		d.ex = Exemplar{Value: v, TraceID: traceID, WhenNS: now}
+	}
+	d.exMu.Unlock()
+}
+
+// Exemplar returns the current exemplar and whether one is set.
+func (d *Distribution) Exemplar() (Exemplar, bool) {
+	if d == nil {
+		return Exemplar{}, false
+	}
+	d.exMu.Lock()
+	ex := d.ex
+	d.exMu.Unlock()
+	return ex, ex.TraceID != 0
 }
 
 func newDistribution(name string, scale float64) *Distribution {

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The exemplar slot's retention policy: largest traced value wins while
+// fresh, zero trace IDs never touch the slot, and a nil distribution
+// swallows everything.
+func TestExemplarRetention(t *testing.T) {
+	d := newDistribution("streamhist_test_latency_seconds", 1e-9)
+
+	if _, ok := d.Exemplar(); ok {
+		t.Fatal("fresh distribution reports an exemplar")
+	}
+	// Untraced observations record the value but never the slot.
+	d.ObserveWithExemplar(500, 0)
+	if _, ok := d.Exemplar(); ok {
+		t.Fatal("zero trace id took the exemplar slot")
+	}
+	if d.Count() != 1 {
+		t.Fatalf("untraced ObserveWithExemplar did not observe: count %d", d.Count())
+	}
+
+	d.ObserveWithExemplar(100, 7)
+	ex, ok := d.Exemplar()
+	if !ok || ex.Value != 100 || ex.TraceID != 7 {
+		t.Fatalf("exemplar = %+v ok=%v, want value 100 trace 7", ex, ok)
+	}
+	// A smaller traced value within the TTL does not displace the incumbent.
+	d.ObserveWithExemplar(50, 8)
+	if ex, _ = d.Exemplar(); ex.TraceID != 7 {
+		t.Fatalf("smaller value displaced the exemplar: %+v", ex)
+	}
+	// An equal-or-larger traced value does.
+	d.ObserveWithExemplar(100, 9)
+	if ex, _ = d.Exemplar(); ex.TraceID != 9 {
+		t.Fatalf("equal value did not take the slot: %+v", ex)
+	}
+	// Negative values clamp, matching Observe.
+	d.ObserveWithExemplar(-5, 10)
+	if ex, _ = d.Exemplar(); ex.TraceID != 9 {
+		t.Fatalf("clamped zero displaced a live exemplar: %+v", ex)
+	}
+
+	var nilDist *Distribution
+	nilDist.ObserveWithExemplar(1, 2) // must not panic
+	if _, ok := nilDist.Exemplar(); ok {
+		t.Fatal("nil distribution reports an exemplar")
+	}
+}
+
+// The Prometheus writer emits the exemplar as an OpenMetrics section on the
+// tail-quantile line only, and the repo's own exposition validator accepts
+// the result.
+func TestExpositionExemplar(t *testing.T) {
+	reg := NewRegistry()
+	d := reg.Distribution("streamhist_test_scan_seconds", "docs", 1e-9)
+	d.ObserveWithExemplar(1_000_000, 0xfeed)
+	// A second, exemplar-free distribution keeps its legacy shape.
+	reg.Distribution("streamhist_test_plain_seconds", "docs", 1e-9).Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var sawTail bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "streamhist_test_scan_seconds{quantile=\"0.99\"}"):
+			sawTail = true
+			if !strings.Contains(line, `# {trace_id="000000000000feed"}`) {
+				t.Fatalf("p99 line lacks the exemplar: %q", line)
+			}
+		case strings.HasPrefix(line, "streamhist_test_scan_seconds{"),
+			strings.HasPrefix(line, "streamhist_test_plain_seconds"):
+			if strings.Contains(line, "#") {
+				t.Fatalf("exemplar leaked onto %q", line)
+			}
+		}
+	}
+	if !sawTail {
+		t.Fatalf("no p99 line in exposition:\n%s", buf.String())
+	}
+	if err := ValidateExposition(buf.Bytes()); err != nil {
+		t.Fatalf("exposition with exemplar fails validation: %v", err)
+	}
+}

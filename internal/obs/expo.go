@@ -48,6 +48,7 @@ func writeSummary(w io.Writer, m *metric) {
 	if i := strings.IndexByte(m.name, '{'); i >= 0 {
 		labels = m.name[i+1 : len(m.name)-1]
 	}
+	ex, hasEx := d.Exemplar()
 	for _, q := range distQuantiles {
 		var v int64
 		if h != nil {
@@ -59,8 +60,14 @@ func writeSummary(w io.Writer, m *metric) {
 		if labels != "" {
 			sep = ","
 		}
-		fmt.Fprintf(w, "%s{%s%squantile=\"%s\"} %s\n",
+		fmt.Fprintf(w, "%s{%s%squantile=\"%s\"} %s",
 			base, labels, sep, formatFloat(q), formatFloat(float64(v)*d.scale))
+		// The tail quantile carries the OpenMetrics exemplar: the p99 sample
+		// links to the distributed trace behind the tail.
+		if hasEx && q == distQuantiles[len(distQuantiles)-1] {
+			fmt.Fprintf(w, " # {trace_id=\"%016x\"} %s", ex.TraceID, formatFloat(float64(ex.Value)*d.scale))
+		}
+		fmt.Fprintln(w)
 	}
 	suffix := ""
 	if labels != "" {
@@ -143,7 +150,15 @@ func validateComment(line string) error {
 }
 
 func validateSample(line string) error {
-	// name[{labels}] value [timestamp]
+	// name[{labels}] value [timestamp] [# {labels} value [timestamp]]
+	// The trailing section is an OpenMetrics exemplar; split it off first
+	// and validate it with the same label/value rules as the sample proper.
+	if i := strings.Index(line, " # "); i >= 0 {
+		if err := validateExemplar(strings.TrimSpace(line[i+3:])); err != nil {
+			return fmt.Errorf("%v in %q", err, line)
+		}
+		line = line[:i]
+	}
 	rest := line
 	var name string
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
@@ -178,6 +193,34 @@ func validateSample(line string) error {
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
 			return fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return nil
+}
+
+// validateExemplar checks the OpenMetrics exemplar section after " # ":
+// {labels} value [timestamp].
+func validateExemplar(s string) error {
+	if !strings.HasPrefix(s, "{") {
+		return fmt.Errorf("exemplar %q lacks label block", s)
+	}
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return fmt.Errorf("unterminated exemplar label block in %q", s)
+	}
+	if err := validateLabels(s[1:end]); err != nil {
+		return fmt.Errorf("exemplar %v", err)
+	}
+	fields := strings.Fields(s[end+1:])
+	if len(fields) == 0 || len(fields) > 2 {
+		return fmt.Errorf("exemplar %q: want value [timestamp]", s)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return fmt.Errorf("exemplar %q: bad value %q", s, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("exemplar %q: bad timestamp %q", s, fields[1])
 		}
 	}
 	return nil

@@ -19,6 +19,9 @@ type ScanEvent struct {
 	// ScanID is the scan's process-wide identifier — the same number in the
 	// ScanTrace, in the slog "scan" attribute, and here.
 	ScanID uint64 `json:"scan_id"`
+	// TraceID is the distributed trace the scan belonged to; zero for
+	// untraced scans (the legacy JSON shape is unchanged).
+	TraceID uint64 `json:"trace_id,omitempty"`
 	// Source is the layer that emitted the event: "server", "client", or
 	// "stream".
 	Source string `json:"source"`

@@ -13,6 +13,11 @@ import (
 //	/metrics        Prometheus text exposition of every registered metric
 //	/healthz        200 "ok" (or 503 + reason when healthy() returns an error)
 //	/scans          recent scan traces as JSON, newest first (?n=K, default 32)
+//	/traces         one assembled distributed trace as JSON (?id=<trace id>,
+//	                hex or decimal): client-reported spans stitched with every
+//	                server scan that continued the trace, redials included
+//	/debug/tracez   the same assembled trace as Chrome trace-event JSON,
+//	                loadable in Perfetto / chrome://tracing (?id=<trace id>)
 //	/events         flight-recorder wide events as JSON, newest first
 //	                (?n=K, default 64); tail-sampled, anomalous scans always kept
 //	/debug/hwprof   simulated-hardware cycle profile in pprof wire format
@@ -59,6 +64,26 @@ func Handler(o *Obs, healthy func() error) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(traces)
+	})
+
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		at, ok := assembleParam(w, r, o)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(at)
+	})
+
+	mux.HandleFunc("/debug/tracez", func(w http.ResponseWriter, r *http.Request) {
+		at, ok := assembleParam(w, r, o)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteTraceEvents(w, at)
 	})
 
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
@@ -127,4 +152,35 @@ func Handler(o *Obs, healthy func() error) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	return mux
+}
+
+// ParseTraceID parses a trace ID as printed by the tools: canonical
+// zero-padded hex (%016x), 0x-prefixed hex, or plain decimal.
+func ParseTraceID(s string) (uint64, error) {
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return v, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// assembleParam resolves the ?id= query of /traces and /debug/tracez into
+// an assembled trace, writing the error response (400 malformed, 404
+// unknown) itself when it cannot.
+func assembleParam(w http.ResponseWriter, r *http.Request, o *Obs) (*AssembledTrace, bool) {
+	q := r.URL.Query().Get("id")
+	if q == "" {
+		http.Error(w, "traces: missing id parameter", http.StatusBadRequest)
+		return nil, false
+	}
+	id, err := ParseTraceID(q)
+	if err != nil || id == 0 {
+		http.Error(w, "traces: id must be a hex or decimal trace id", http.StatusBadRequest)
+		return nil, false
+	}
+	at := o.Tracer().Assemble(id)
+	if at == nil {
+		http.Error(w, "traces: unknown trace id", http.StatusNotFound)
+		return nil, false
+	}
+	return at, true
 }

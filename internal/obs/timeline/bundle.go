@@ -2,12 +2,15 @@ package timeline
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
+
+	"streamhist/internal/obs"
 )
 
 // bundleManifest is the top-level anomaly.json of a debug bundle: the
@@ -58,6 +61,38 @@ func (t *Timeline) writeBundleLocked(a *Anomaly, now time.Time) {
 	if evs := t.cfg.Flight.Recent(1 << 20); len(evs) > 0 {
 		if writeJSON(filepath.Join(name, "events.json"), evs) == nil {
 			man.Files = append(man.Files, "events.json")
+		}
+	}
+
+	// Exemplar join: every distribution's retained exemplar, resolved to its
+	// assembled distributed trace when the tracer still holds it — the bundle
+	// then carries not just "the tail was this slow" but the exact traced
+	// scan that put it there, spans and all.
+	if t.cfg.Tracer != nil {
+		type exemplarEntry struct {
+			Metric  string              `json:"metric"`
+			Value   int64               `json:"value"`
+			TraceID string              `json:"trace_id"`
+			Trace   *obs.AssembledTrace `json:"trace,omitempty"`
+		}
+		var exs []exemplarEntry
+		for _, s := range t.cfg.Registry.Samples(nil) {
+			if s.Kind != obs.SampleDist {
+				continue
+			}
+			ex, ok := s.Dist.Exemplar()
+			if !ok {
+				continue
+			}
+			exs = append(exs, exemplarEntry{
+				Metric:  s.Name,
+				Value:   ex.Value,
+				TraceID: fmt.Sprintf("%016x", ex.TraceID),
+				Trace:   t.cfg.Tracer.Assemble(ex.TraceID),
+			})
+		}
+		if len(exs) > 0 && writeJSON(filepath.Join(name, "exemplars.json"), exs) == nil {
+			man.Files = append(man.Files, "exemplars.json")
 		}
 	}
 

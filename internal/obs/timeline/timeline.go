@@ -144,6 +144,11 @@ type Config struct {
 	Flight   *obs.FlightRecorder
 	Prof     *hwprof.Profiler
 	Log      *slog.Logger
+	// Tracer, when set alongside Registry, joins metric exemplars to their
+	// distributed traces in debug bundles: each anomaly bundle gains an
+	// exemplars.json mapping every distribution's retained exemplar to the
+	// assembled trace it points at (when the tracer still holds it).
+	Tracer *obs.Tracer
 
 	// Detectors override DefaultDetectors; nil keeps the stock set, an empty
 	// non-nil slice disables detection.

@@ -2,8 +2,36 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
+
+	"streamhist/internal/obs"
 )
+
+// canonicalScanRequest reports whether a scan-request payload is in the
+// form EncodeScanRequest itself produces. Decodable but non-canonical
+// layouts exist — an offset-only tail carrying offset 0, a trace tail with
+// trace ID 0, and a future-version trace tail (served untraced) — and all
+// of them legitimately re-encode shorter, so byte identity is only asserted
+// for canonical input.
+func canonicalScanRequest(buf []byte) bool {
+	if len(buf) < 4 {
+		return true
+	}
+	tl := int(binary.LittleEndian.Uint16(buf[0:2]))
+	if 4+tl > len(buf) {
+		return true
+	}
+	cl := int(binary.LittleEndian.Uint16(buf[2+tl : 4+tl]))
+	tail := buf[4+tl+cl:]
+	switch len(tail) {
+	case 4:
+		return binary.LittleEndian.Uint32(tail) != 0
+	case 4 + traceContextSize:
+		return tail[4] == traceContextVersion && binary.LittleEndian.Uint64(tail[5:13]) != 0
+	}
+	return true
+}
 
 // FuzzDecodeFrame hammers the wire decoder the way FuzzHistogramUnmarshal
 // hammers the catalog decoder: arbitrary bytes must decode-or-error without
@@ -13,6 +41,18 @@ import (
 // panic-free on attacker-controlled bytes.
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, FrameScan, EncodeScanRequest(ScanRequest{Table: "lineitem", Column: "l_tax"})))
+	f.Add(AppendFrame(nil, FrameScan, EncodeScanRequest(ScanRequest{
+		Table: "lineitem", Column: "l_tax", Offset: 96,
+		TraceID: 0xdeadbeefcafef00d, ParentSpanID: 0x0123456789abcdef,
+	})))
+	f.Add(AppendFrame(nil, FrameTraceInfo, EncodeTraceInfo(TraceInfo{TraceID: 7, RootSpanID: 9})))
+	f.Add(AppendFrame(nil, FrameTraceReport, EncodeTraceReport(TraceReport{
+		TraceID: 3,
+		Spans: []obs.Span{
+			{Name: "scan", Lane: -1, StartNS: 10, DurNS: 20, SpanID: 4, ParentID: 0},
+			{Name: "lane", Lane: 2, StartNS: 12, DurNS: 5, HWCycles: 33, SpanID: 5, ParentID: 4, Retired: true},
+		},
+	})))
 	f.Add(AppendFrame(nil, FrameScanEnd, EncodeScanSummary(ScanSummary{Pages: 2, Bytes: 16384, Rows: 99, Refreshed: true})))
 	f.Add(AppendFrame(nil, FrameStatsResult, EncodeStatsResult(StatsResult{RowCount: 5, Histogram: []byte{1, 2}})))
 	f.Add(AppendFrame(nil, FrameTables, EncodeTableList([]TableInfo{{Name: "t", Rows: 3, Columns: []string{"a"}}})))
@@ -37,18 +77,32 @@ func FuzzDecodeFrame(f *testing.F) {
 			t.Fatalf("frame did not round trip: % x -> % x", data[:n], back)
 		}
 		// Payload parsers must be total: decode-or-error, never panic.
-		if _, err := DecodeScanRequest(fr.Payload); err == nil {
-			// A valid request must re-encode through the same bytes.
-			req, _ := DecodeScanRequest(fr.Payload)
-			if !bytes.Equal(EncodeScanRequest(req), fr.Payload) {
-				t.Fatalf("scan request did not round trip")
+		if req, err := DecodeScanRequest(fr.Payload); err == nil {
+			// A valid request must survive re-encode + re-decode, and — when
+			// the input is in the canonical layout the encoder itself emits —
+			// must re-encode through the same bytes.
+			enc := EncodeScanRequest(req)
+			if req2, err2 := DecodeScanRequest(enc); err2 != nil || req2 != req {
+				t.Fatalf("scan request did not round trip: %+v vs %+v (%v)", req, req2, err2)
+			}
+			if canonicalScanRequest(fr.Payload) && !bytes.Equal(enc, fr.Payload) {
+				t.Fatalf("scan request bytes did not round trip")
 			}
 		}
 		if sum, err := DecodeScanSummary(fr.Payload); err == nil {
-			if !bytes.Equal(EncodeScanSummary(sum), fr.Payload) {
+			// Legacy v1-size summaries decode with zeroed extended fields but
+			// always re-encode in the v2 layout, so byte identity only holds
+			// for v2-size input; the semantic round trip must hold for both.
+			// (Compare re-encodings, not structs: NaN AccelSeconds would fail
+			// != even though Float64bits preserves the exact bit pattern.)
+			enc := EncodeScanSummary(sum)
+			if sum2, err2 := DecodeScanSummary(enc); err2 != nil || !bytes.Equal(EncodeScanSummary(sum2), enc) {
+				t.Fatalf("scan summary did not round trip: %+v vs %+v (%v)", sum, sum2, err2)
+			}
+			if len(fr.Payload) == scanSummaryV2Size && !bytes.Equal(enc, fr.Payload) {
 				// NaN payloads re-encode to different bit patterns only if
 				// the float bits changed, which Float64bits never does.
-				t.Fatalf("scan summary did not round trip")
+				t.Fatalf("scan summary bytes did not round trip")
 			}
 		}
 		if res, err := DecodeStatsResult(fr.Payload); err == nil {
@@ -59,6 +113,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		if tables, err := DecodeTableList(fr.Payload); err == nil {
 			if !bytes.Equal(EncodeTableList(tables), fr.Payload) {
 				t.Fatalf("table list did not round trip")
+			}
+		}
+		// Trace payloads are version-tolerant (any version ≥ 1 decodes), but
+		// re-encoding always stamps v1 — byte identity only holds for v1 input.
+		if ti, err := DecodeTraceInfo(fr.Payload); err == nil && fr.Payload[0] == traceContextVersion {
+			if !bytes.Equal(EncodeTraceInfo(ti), fr.Payload) {
+				t.Fatalf("trace info did not round trip")
+			}
+		}
+		if rep, err := DecodeTraceReport(fr.Payload); err == nil && fr.Payload[0] == traceContextVersion {
+			if !bytes.Equal(EncodeTraceReport(rep), fr.Payload) {
+				t.Fatalf("trace report did not round trip")
 			}
 		}
 		DecodeError(fr.Payload)

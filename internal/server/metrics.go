@@ -30,6 +30,12 @@ type metrics struct {
 	retriesServed    *obs.Counter
 	resumesAdopted   *obs.Counter
 
+	// traceReports / traceReportsBad count the client span trailers the
+	// tracing handshake delivered — and the malformed ones dropped without
+	// a reply (the trailer is one-way by contract).
+	traceReports    *obs.Counter
+	traceReportsBad *obs.Counter
+
 	// faultsCorrected / binsQuarantined fold the merged side path's ECC
 	// accounting (BinnerStats.FaultsCorrected / BinsQuarantined) in at
 	// fan-in, scan by scan.
@@ -82,6 +88,9 @@ func newMetrics(reg *obs.Registry, lanes int) metrics {
 		scansDegraded:    reg.Counter("streamhist_server_scans_degraded_total", "Scans whose summary reported a degraded (or absent) statistics side effect."),
 		retriesServed:    reg.Counter("streamhist_server_retries_served_total", "Scans resumed from a nonzero page offset by a reconnecting client."),
 		resumesAdopted:   reg.Counter("streamhist_server_resumes_adopted_total", "Resumed scans matched to an in-flight journal entry recovered from a previous process."),
+
+		traceReports:    reg.Counter("streamhist_server_trace_reports_total", "Client span trailers accepted and stored for trace assembly."),
+		traceReportsBad: reg.Counter("streamhist_server_trace_reports_bad_total", "Malformed client span trailers dropped without a reply."),
 
 		faultsCorrected: reg.Counter("streamhist_server_ecc_corrected_total", "Injected bin-memory upsets ECC repaired in merged side-path state."),
 		binsQuarantined: reg.Counter("streamhist_server_bins_quarantined_total", "Bins lost to uncorrectable memory upsets in merged side-path state."),

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"streamhist/internal/obs"
 )
 
 // The wire protocol of histserved. Everything that crosses the connection is
@@ -50,6 +52,16 @@ const (
 	FrameStats uint8 = 2
 	// FrameList requests the table listing: empty payload.
 	FrameList uint8 = 3
+	// FrameTraceReport is the client's span trailer: after a traced scan
+	// completes, the client ships the spans it recorded (dial, request,
+	// stream, backoff…) back to the server so /traces can assemble the whole
+	// tree. It is strictly fail-open and strictly one-way: the server NEVER
+	// replies to it — not even with FrameError on a malformed payload —
+	// because the client does not read a response, and any reply would be
+	// consumed as the answer to the client's next request, desynchronising
+	// the stream. A client only sends it after seeing FrameTraceInfo on the
+	// same scan, so a legacy server is never handed an unknown frame.
+	FrameTraceReport uint8 = 4
 
 	// FramePages carries raw page images (a whole number of pages).
 	FramePages uint8 = 16
@@ -76,6 +88,14 @@ const (
 	// zero-offset scan never carries this frame, so pre-resume peers
 	// interoperate unchanged.
 	FrameResumeInfo uint8 = 22
+	// FrameTraceInfo opens a traced scan's response: sent first, before any
+	// resume info or pages, if and only if the request carried valid trace
+	// context. Its payload echoes the trace ID and announces the server's
+	// root span ID. Its presence is the capability handshake: only after
+	// seeing it may the client send the FrameTraceReport trailer, so both
+	// directions of a legacy↔tracing pairing degrade to today's byte
+	// stream. An untraced request never sees this frame.
+	FrameTraceInfo uint8 = 23
 )
 
 // PageChecksumSize is the per-page trailer cost of a FramePagesCk frame.
@@ -254,21 +274,50 @@ type ScanRequest struct {
 	// zero offset is a full scan and encodes identically to the original
 	// request layout, so old peers interoperate.
 	Offset uint32
+	// TraceID carries the distributed trace this scan continues; zero means
+	// untraced, and an untraced request encodes byte-identically to the
+	// pre-tracing layout. Non-zero adds a versioned trace-context tail.
+	TraceID uint64
+	// ParentSpanID is the client-side span the server's root span parents
+	// under (the client's root scan span). Meaningful only with TraceID.
+	ParentSpanID uint64
 }
+
+// traceContextVersion is the trace-context tail layout this build encodes.
+// Decoders reject version 0 (an impossible encoding — a tracing client
+// always stamps its version) and skip versions they do not know, treating
+// the request as untraced: an unknown future context must never break the
+// scan it rides on.
+const traceContextVersion = 1
+
+// traceContextSize is the tail's wire size: version byte + trace ID +
+// parent span ID.
+const traceContextSize = 1 + 8 + 8
 
 // EncodeScanRequest serialises a request payload.
 func EncodeScanRequest(req ScanRequest) []byte {
-	out := make([]byte, 0, 8+len(req.Table)+len(req.Column))
+	out := make([]byte, 0, 8+traceContextSize+len(req.Table)+len(req.Column))
 	out = appendString(out, req.Table)
 	out = appendString(out, req.Column)
+	if req.TraceID != 0 {
+		// The trace-context tail always carries the offset field, even at
+		// zero, so the decoder can discriminate layouts by length alone.
+		out = binary.LittleEndian.AppendUint32(out, req.Offset)
+		out = append(out, traceContextVersion)
+		out = binary.LittleEndian.AppendUint64(out, req.TraceID)
+		return binary.LittleEndian.AppendUint64(out, req.ParentSpanID)
+	}
 	if req.Offset > 0 {
 		out = binary.LittleEndian.AppendUint32(out, req.Offset)
 	}
 	return out
 }
 
-// DecodeScanRequest parses a request payload. The optional trailing uint32
-// is the resume offset; its absence (the legacy layout) means zero.
+// DecodeScanRequest parses a request payload. The trailing-byte count picks
+// the layout: 0 is the legacy request, 4 adds the resume offset, 4+17 adds
+// the versioned trace context (offset, version byte, trace ID, parent span
+// ID). Anything else is malformed — the discrimination is fuzz-guarded by
+// FuzzDecodeFrame.
 func DecodeScanRequest(buf []byte) (ScanRequest, error) {
 	table, rest, err := cutString(buf)
 	if err != nil {
@@ -278,18 +327,153 @@ func DecodeScanRequest(buf []byte) (ScanRequest, error) {
 	if err != nil {
 		return ScanRequest{}, err
 	}
-	var offset uint32
+	req := ScanRequest{Table: table, Column: column}
 	switch len(rest) {
 	case 0:
 	case 4:
-		offset = binary.LittleEndian.Uint32(rest)
+		req.Offset = binary.LittleEndian.Uint32(rest)
+	case 4 + traceContextSize:
+		req.Offset = binary.LittleEndian.Uint32(rest)
+		switch ver := rest[4]; {
+		case ver == 0:
+			return ScanRequest{}, fmt.Errorf("%w: trace context version 0", ErrBadFrame)
+		case ver == traceContextVersion:
+			req.TraceID = binary.LittleEndian.Uint64(rest[5:13])
+			req.ParentSpanID = binary.LittleEndian.Uint64(rest[13:21])
+		default:
+			// A future context version this build cannot read: serve the
+			// scan untraced rather than fail it.
+		}
 	default:
 		return ScanRequest{}, fmt.Errorf("%w: %d trailing bytes in request", ErrBadFrame, len(rest))
 	}
 	if table == "" {
 		return ScanRequest{}, fmt.Errorf("%w: empty table name", ErrBadFrame)
 	}
-	return ScanRequest{Table: table, Column: column, Offset: offset}, nil
+	return req, nil
+}
+
+// TraceInfo is a FrameTraceInfo payload: the server's half of the tracing
+// handshake, echoing the trace it agreed to continue and naming the root
+// span its own spans will hang under.
+type TraceInfo struct {
+	TraceID    uint64
+	RootSpanID uint64
+}
+
+// EncodeTraceInfo serialises a FrameTraceInfo payload.
+func EncodeTraceInfo(ti TraceInfo) []byte {
+	out := make([]byte, 0, traceContextSize)
+	out = append(out, traceContextVersion)
+	out = binary.LittleEndian.AppendUint64(out, ti.TraceID)
+	return binary.LittleEndian.AppendUint64(out, ti.RootSpanID)
+}
+
+// DecodeTraceInfo parses a FrameTraceInfo payload. Any version ≥ 1 with the
+// v1 size is accepted — the fields a v1 reader needs lead the layout.
+func DecodeTraceInfo(buf []byte) (TraceInfo, error) {
+	if len(buf) != traceContextSize {
+		return TraceInfo{}, fmt.Errorf("%w: trace info is %d bytes, want %d", ErrBadFrame, len(buf), traceContextSize)
+	}
+	if buf[0] == 0 {
+		return TraceInfo{}, fmt.Errorf("%w: trace info version 0", ErrBadFrame)
+	}
+	return TraceInfo{
+		TraceID:    binary.LittleEndian.Uint64(buf[1:9]),
+		RootSpanID: binary.LittleEndian.Uint64(buf[9:17]),
+	}, nil
+}
+
+// TraceReport is a FrameTraceReport payload: the spans one client-side scan
+// recorded, shipped back so the server can assemble the full tree.
+type TraceReport struct {
+	TraceID uint64
+	Spans   []obs.Span
+}
+
+// traceReportSpanFixed is the fixed wire cost of one reported span beside
+// its name: lane, start, duration, hw cycles, span ID, parent ID, flags.
+const traceReportSpanFixed = 4 + 8 + 8 + 8 + 8 + 8 + 1
+
+// MaxTraceReportSpans bounds the spans one trailer may carry; a client with
+// more (pathological redial storms) truncates rather than overflow the
+// count field or the payload limit.
+const MaxTraceReportSpans = maxListEntries
+
+// EncodeTraceReport serialises a FrameTraceReport payload.
+func EncodeTraceReport(r TraceReport) []byte {
+	out := make([]byte, 0, 1+8+2+len(r.Spans)*(traceReportSpanFixed+16))
+	out = append(out, traceContextVersion)
+	out = binary.LittleEndian.AppendUint64(out, r.TraceID)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Spans)))
+	for _, sp := range r.Spans {
+		out = appendString(out, sp.Name)
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(sp.Lane)))
+		out = binary.LittleEndian.AppendUint64(out, uint64(sp.StartNS))
+		out = binary.LittleEndian.AppendUint64(out, uint64(sp.DurNS))
+		out = binary.LittleEndian.AppendUint64(out, uint64(sp.HWCycles))
+		out = binary.LittleEndian.AppendUint64(out, sp.SpanID)
+		out = binary.LittleEndian.AppendUint64(out, sp.ParentID)
+		var flags byte
+		if sp.Retired {
+			flags |= 1
+		}
+		out = append(out, flags)
+	}
+	return out
+}
+
+// DecodeTraceReport parses a FrameTraceReport payload. Same hostile-input
+// posture as every other decoder here: counts and name lengths are bounded
+// before any allocation, trailing bytes are rejected.
+func DecodeTraceReport(buf []byte) (TraceReport, error) {
+	if len(buf) < 1+8+2 {
+		return TraceReport{}, fmt.Errorf("%w: trace report is %d bytes, want ≥ 11", ErrBadFrame, len(buf))
+	}
+	if buf[0] == 0 {
+		return TraceReport{}, fmt.Errorf("%w: trace report version 0", ErrBadFrame)
+	}
+	r := TraceReport{TraceID: binary.LittleEndian.Uint64(buf[1:9])}
+	if r.TraceID == 0 {
+		return TraceReport{}, fmt.Errorf("%w: trace report with zero trace id", ErrBadFrame)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[9:11]))
+	if n > maxListEntries {
+		return TraceReport{}, fmt.Errorf("%w: trace report claims %d spans", ErrBadFrame, n)
+	}
+	rest := buf[11:]
+	r.Spans = make([]obs.Span, 0, n)
+	for i := 0; i < n; i++ {
+		name, after, err := cutString(rest)
+		if err != nil {
+			return TraceReport{}, fmt.Errorf("%w: trace report span %d name", ErrBadFrame, i)
+		}
+		rest = after
+		if len(rest) < traceReportSpanFixed {
+			return TraceReport{}, fmt.Errorf("%w: trace report truncated in span %d", ErrBadFrame, i)
+		}
+		if rest[44]&^byte(1) != 0 {
+			// Reserved flag bits must be zero in this version: rejecting them
+			// keeps decode→encode byte-exact, which the fuzz harness enforces.
+			return TraceReport{}, fmt.Errorf("%w: trace report span %d reserved flag bits", ErrBadFrame, i)
+		}
+		sp := obs.Span{
+			Name:     name,
+			Lane:     int(int32(binary.LittleEndian.Uint32(rest[0:4]))),
+			StartNS:  int64(binary.LittleEndian.Uint64(rest[4:12])),
+			DurNS:    int64(binary.LittleEndian.Uint64(rest[12:20])),
+			HWCycles: int64(binary.LittleEndian.Uint64(rest[20:28])),
+			SpanID:   binary.LittleEndian.Uint64(rest[28:36]),
+			ParentID: binary.LittleEndian.Uint64(rest[36:44]),
+			Retired:  rest[44]&1 != 0,
+		}
+		rest = rest[traceReportSpanFixed:]
+		r.Spans = append(r.Spans, sp)
+	}
+	if len(rest) != 0 {
+		return TraceReport{}, fmt.Errorf("%w: %d trailing bytes in trace report", ErrBadFrame, len(rest))
+	}
+	return r, nil
 }
 
 // ScanSummary closes a scan: what moved and what the movement bought.

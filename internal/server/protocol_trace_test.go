@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"streamhist/internal/obs"
+)
+
+// A traced scan request round-trips through the versioned trace-context
+// tail, and an untraced request's encoding is byte-identical to the
+// pre-tracing layouts (no tail / offset-only tail).
+func TestScanRequestTraceContextRoundTrip(t *testing.T) {
+	req := ScanRequest{
+		Table: "lineitem", Column: "l_tax", Offset: 96,
+		TraceID: 0xdeadbeefcafef00d, ParentSpanID: 0x0123456789abcdef,
+	}
+	enc := EncodeScanRequest(req)
+	got, err := DecodeScanRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Fatalf("decoded %+v, want %+v", got, req)
+	}
+	// The tail always carries the offset field, even at zero, so length
+	// alone discriminates the layouts.
+	req.Offset = 0
+	if got, err = DecodeScanRequest(EncodeScanRequest(req)); err != nil || got != req {
+		t.Fatalf("zero-offset traced request: %+v (%v)", got, err)
+	}
+}
+
+// legacyRequestBytes hand-builds the pre-tracing wire layouts.
+func legacyRequestBytes(table, column string, offset uint32) []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(table)))
+	out = append(out, table...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(column)))
+	out = append(out, column...)
+	if offset > 0 {
+		out = binary.LittleEndian.AppendUint32(out, offset)
+	}
+	return out
+}
+
+func TestScanRequestUntracedStaysLegacyBytes(t *testing.T) {
+	for _, offset := range []uint32{0, 7} {
+		req := ScanRequest{Table: "lineitem", Column: "l_tax", Offset: offset}
+		if got, want := EncodeScanRequest(req), legacyRequestBytes("lineitem", "l_tax", offset); !bytes.Equal(got, want) {
+			t.Fatalf("offset %d: encoded % x, legacy layout % x", offset, got, want)
+		}
+	}
+}
+
+// Version gating on the trace tail: version 0 is malformed, a future
+// version is accepted but served untraced (never an error — a newer client
+// must not be locked out of its data).
+func TestScanRequestTraceVersionGate(t *testing.T) {
+	req := ScanRequest{Table: "t", Column: "c", Offset: 5, TraceID: 9, ParentSpanID: 11}
+	enc := EncodeScanRequest(req)
+	verAt := len(enc) - traceContextSize
+
+	enc[verAt] = 0
+	if _, err := DecodeScanRequest(enc); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("version 0 decoded: %v", err)
+	}
+
+	enc[verAt] = traceContextVersion + 1
+	got, err := DecodeScanRequest(enc)
+	if err != nil {
+		t.Fatalf("future version rejected: %v", err)
+	}
+	if got.TraceID != 0 || got.ParentSpanID != 0 || got.Offset != 5 {
+		t.Fatalf("future version decoded %+v, want untraced with offset kept", got)
+	}
+
+	// A tail length between the known layouts is malformed.
+	if _, err := DecodeScanRequest(enc[:len(enc)-1]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("odd tail length decoded: %v", err)
+	}
+}
+
+func TestTraceInfoCodec(t *testing.T) {
+	ti := TraceInfo{TraceID: 0x1122334455667788, RootSpanID: 0x99aabbccddeeff00}
+	enc := EncodeTraceInfo(ti)
+	if len(enc) != traceContextSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), traceContextSize)
+	}
+	got, err := DecodeTraceInfo(enc)
+	if err != nil || got != ti {
+		t.Fatalf("round trip: %+v (%v)", got, err)
+	}
+
+	if _, err := DecodeTraceInfo(enc[:16]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short payload decoded: %v", err)
+	}
+	if _, err := DecodeTraceInfo(append(enc, 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("long payload decoded: %v", err)
+	}
+	enc[0] = 0
+	if _, err := DecodeTraceInfo(enc); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("version 0 decoded: %v", err)
+	}
+	// Forward compat: a future version with the v1 size still decodes.
+	enc[0] = traceContextVersion + 3
+	if got, err := DecodeTraceInfo(enc); err != nil || got != ti {
+		t.Fatalf("future version: %+v (%v)", got, err)
+	}
+}
+
+func TestTraceReportCodec(t *testing.T) {
+	rep := TraceReport{
+		TraceID: 0xf00d,
+		Spans: []obs.Span{
+			{Name: "scan", Lane: -1, StartNS: 100, DurNS: 900, SpanID: 4},
+			{Name: "lane", Lane: 2, StartNS: 120, DurNS: 40, HWCycles: 33, SpanID: 5, ParentID: 4, Retired: true},
+		},
+	}
+	enc := EncodeTraceReport(rep)
+	got, err := DecodeTraceReport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != rep.TraceID || len(got.Spans) != 2 ||
+		got.Spans[0] != rep.Spans[0] || got.Spans[1] != rep.Spans[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !bytes.Equal(EncodeTraceReport(got), enc) {
+		t.Fatal("re-encoding differs")
+	}
+
+	mutate := func(f func(b []byte) []byte) error {
+		b := f(append([]byte(nil), enc...))
+		_, err := DecodeTraceReport(b)
+		return err
+	}
+	cases := map[string]func(b []byte) []byte{
+		"short header":  func(b []byte) []byte { return b[:10] },
+		"version 0":     func(b []byte) []byte { b[0] = 0; return b },
+		"zero trace id": func(b []byte) []byte { copy(b[1:9], make([]byte, 8)); return b },
+		"count overflow": func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[9:11], uint16(maxListEntries+1))
+			return b
+		},
+		"truncated span": func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing bytes": func(b []byte) []byte { return append(b, 0xff) },
+		"reserved flags": func(b []byte) []byte { b[len(b)-1] |= 0x30; return b },
+	}
+	for name, f := range cases {
+		if err := mutate(f); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: decoded with err %v, want ErrBadFrame", name, err)
+		}
+	}
+
+	// An empty span list is well-formed (a client may have nothing to say).
+	empty := EncodeTraceReport(TraceReport{TraceID: 1})
+	if got, err := DecodeTraceReport(empty); err != nil || len(got.Spans) != 0 || got.TraceID != 1 {
+		t.Fatalf("empty report: %+v (%v)", got, err)
+	}
+}

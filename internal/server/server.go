@@ -570,6 +570,21 @@ func (s *Server) dispatch(conn net.Conn, bw *bufio.Writer, f Frame) error {
 		return s.handleStats(bw, req)
 	case FrameList:
 		return s.handleList(bw)
+	case FrameTraceReport:
+		// The client's span trailer. One-way by contract: the client does
+		// not read a reply, so writing anything here — even a FrameError
+		// for a malformed payload — would be consumed as the answer to the
+		// client's NEXT request and desynchronise the stream. Decode
+		// failures are counted, logged, and dropped (fail-open).
+		rep, err := DecodeTraceReport(f.Payload)
+		if err != nil {
+			s.metrics.traceReportsBad.Add(1)
+			s.obs.Logger().Warn("dropped malformed trace report", "err", err.Error())
+			return nil
+		}
+		s.obs.Tracer().Report(rep.TraceID, rep.Spans)
+		s.metrics.traceReports.Add(1)
+		return nil
 	default:
 		return s.writeError(bw, fmt.Errorf("%w: unexpected frame type %d", ErrBadRequest, f.Type))
 	}
@@ -596,6 +611,20 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 	// fork, its trace, and its log records.
 	id := uint64(s.scanSeq.Add(1))
 	tr := s.obs.Tracer().Start(id, req.Table, req.Column, s.cfg.ShardLanes+4)
+	// A request carrying trace context makes this scan continue the client's
+	// distributed trace: the trace record keeps the wire identity and every
+	// span recorded below gets a derived span ID under the server-side root.
+	// The side salt folds in the local scan id so a redialled trace — several
+	// server scans continuing the same trace ID — gets distinct span IDs per
+	// attempt and each attempt's spans nest under their own "serve" root at
+	// assembly. The root ID is derived even when no tracer is wired, so the
+	// handshake frame is honest either way.
+	var traceRoot uint64
+	if req.TraceID != 0 {
+		side := obs.SpanSideServer | id<<8
+		traceRoot = obs.DeriveSpanID(req.TraceID, side, 0)
+		tr.EnableTrace(req.TraceID, req.ParentSpanID, side)
+	}
 	scanStart := time.Now()
 	resumed := req.Offset > 0
 	var sum ScanSummary
@@ -616,7 +645,9 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 			}
 		}
 		s.obs.Tracer().Publish(tr)
-		s.metrics.scanLatency.Observe(time.Since(scanStart).Nanoseconds())
+		// Traced scans pin their trace ID to the latency distribution's
+		// exemplar slot, so the /metrics p99 line links back to a trace.
+		s.metrics.scanLatency.ObserveWithExemplar(time.Since(scanStart).Nanoseconds(), req.TraceID)
 		// The wide event: everything this scan did in one flight-recorder
 		// row, keyed by the same id as the trace and the log records. The
 		// trace is published (immutable) by now, so sharing its span slice
@@ -675,6 +706,18 @@ func (s *Server) handleScan(conn net.Conn, bw *bufio.Writer, req ScanRequest) (e
 		return s.writeError(bw, failure)
 	}
 	tr.End(ai, 0)
+
+	if req.TraceID != 0 {
+		// The tracing handshake: sent first, before resume info or pages,
+		// only for requests that carried trace context. Seeing it is what
+		// licenses the client to send its span trailer later.
+		if werr := WriteFrame(bw, FrameTraceInfo, EncodeTraceInfo(TraceInfo{
+			TraceID:    req.TraceID,
+			RootSpanID: traceRoot,
+		})); werr != nil {
+			return werr
+		}
+	}
 
 	inj := s.cfg.Faults.Fork(fmt.Sprintf("scan%d", id))
 

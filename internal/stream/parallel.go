@@ -70,6 +70,14 @@ type ParallelDataPath struct {
 	// recorder, keyed by a path-local scan sequence. Nil keeps the
 	// zero-overhead baseline.
 	Flight *obs.FlightRecorder
+	// Trace, when non-nil, receives one published ScanTrace per completed
+	// scan: a root span over the whole scan, fan-out / drain / merge phase
+	// spans, and one span per lane (parented under the fan-out span) carrying
+	// that lane's wall window and simulated cycle account. Each scan
+	// originates its own trace ID, so standalone stream traces are fetchable
+	// through the same /traces assembly as served scans. Nil keeps the
+	// zero-overhead baseline.
+	Trace *obs.Tracer
 	// Prof, when non-nil, receives the cycle attribution of every scan:
 	// each surviving lane's pipeline decomposition under its "lane<i>"
 	// frame (the inline replay lane under "inline"), and the aggregation
@@ -192,12 +200,19 @@ type lane struct {
 	// can replay the lane's full share.
 	assigned []pageChunk
 	retired  bool
+	// startNS/endNS bound the lane goroutine's wall window for its trace
+	// span: two clock reads per lane per scan, never per page. Atomics
+	// because a retired lane's goroutine can still be running (stalled)
+	// when the supervisor reads the window for the retirement span; an
+	// unfinished lane reads as 0 and AddSpan clamps it to "still open".
+	startNS, endNS atomic.Int64
 	// chClosed tracks whether the supervisor has closed ch yet; lanes
 	// retired mid-fan-out keep theirs open until cleanup.
 	chClosed bool
 }
 
 func (l *lane) run() {
+	l.startNS.Store(time.Now().UnixNano())
 	defer func() {
 		if r := recover(); r != nil {
 			if err, ok := r.(error); ok {
@@ -206,6 +221,7 @@ func (l *lane) run() {
 				l.err = fmt.Errorf("lane panic: %v", r)
 			}
 		}
+		l.endNS.Store(time.Now().UnixNano())
 		close(l.done)
 	}()
 	var vals []int64
@@ -260,6 +276,22 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	stallTimeout := d.StallTimeout
 	if stallTimeout <= 0 {
 		stallTimeout = DefaultStallTimeout
+	}
+
+	// Tracing: every scan originates its own distributed trace under the
+	// stream side salt. The slab is sized for the fixed phases plus one span
+	// per lane, so a traced scan costs one allocation up front and struct
+	// appends at phase boundaries — nothing per page. tr==nil (no tracer
+	// wired) turns every span call below into a pointer check.
+	scanID := d.scanSeq.Add(1)
+	var tr *obs.ScanTrace
+	var traceID uint64
+	rootIdx := -1
+	if d.Trace != nil {
+		traceID = obs.NewTraceID()
+		tr = d.Trace.Start(scanID, d.Rel.Name, d.Column, shards+8)
+		tr.EnableTrace(traceID, 0, obs.SpanSideStream)
+		rootIdx = tr.BeginRoot("scan")
 	}
 
 	pre := func() (*core.Preprocessor, error) {
@@ -389,6 +421,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	// Fan out: the host gets every byte in storage order; lanes get whole
 	// pages round-robin, chunked to amortise channel traffic. The host copy
 	// always runs first and never waits on the side path.
+	fanoutIdx := tr.Begin("fanout")
 	pages := d.encodedPages()
 	var hostBytes int64
 	var writeErr error
@@ -426,6 +459,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 			orphaned = append(orphaned, chunk)
 		}
 	}
+	tr.End(fanoutIdx, 0)
 
 	// Fan in: close the surviving lanes and wait for them against a shared
 	// absolute drain deadline — a lane that stalled after accepting its
@@ -433,6 +467,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	// wall-clock instant, re-armed as a fresh timer per wait, so two or more
 	// lanes stalled at drain time are each retired in turn (a one-shot timer
 	// would fire once and leave the next stalled lane blocking forever).
+	drainIdx := tr.Begin("drain")
 	for _, l := range healthy {
 		close(l.ch)
 		l.chClosed = true
@@ -453,6 +488,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 			retire(idx)
 		}
 	}
+	tr.End(drainIdx, 0)
 	if writeErr != nil {
 		return nil, writeErr
 	}
@@ -479,6 +515,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 			parser: core.NewParser(d.Config.Column),
 			binner: core.NewBinner(bcfg, p),
 		}
+		inline.startNS.Store(time.Now().UnixNano())
 		var vals []int64
 		for _, chunk := range orphaned {
 			replayed++
@@ -491,6 +528,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 				inline.binner.PushAll(vals)
 			}
 		}
+		inline.endNS.Store(time.Now().UnixNano())
 	}
 
 	// Surface real (non-injected) parse errors from surviving lanes, then
@@ -498,8 +536,10 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	perShard := make([]core.BinnerStats, shards)
 	var laneCycles []int64
 	var toMerge []*core.Binner
+	fanoutSpan := tr.SpanIDAt(fanoutIdx)
 	for i, l := range lanes {
 		if l.retired {
+			tr.Reparent(tr.AddSpan("lane", i, l.startNS.Load(), l.endNS.Load(), 0, true), fanoutSpan)
 			continue
 		}
 		if l.err != nil {
@@ -508,11 +548,14 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		_, perShard[i] = l.binner.Finish()
 		laneCycles = append(laneCycles, perShard[i].Cycles)
 		toMerge = append(toMerge, l.binner)
+		tr.Reparent(tr.AddSpan("lane", i, l.startNS.Load(), l.endNS.Load(), perShard[i].Cycles, false), fanoutSpan)
 	}
+	mergeIdx := tr.Begin("merge")
 	if inline != nil {
 		_, istats := inline.binner.Finish()
 		laneCycles = append(laneCycles, istats.Cycles)
 		toMerge = append(toMerge, inline.binner)
+		tr.Reparent(tr.AddSpan("inline", -1, inline.startNS.Load(), inline.endNS.Load(), istats.Cycles, false), fanoutSpan)
 	}
 	if len(toMerge) == 0 {
 		// Every lane retired and nothing needed replay: the relation was
@@ -561,6 +604,7 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 	blocks := blocksFor(d.Config, vec)
 	chain := core.NewScanner().Run(vec, blocks.list...)
 	chain.ChargeProfile(d.Prof, "merged")
+	tr.End(mergeIdx, agg)
 
 	clk := d.Config.Binner.Clock
 	if clk.Hz == 0 {
@@ -606,7 +650,12 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 		LanesRetired:       retiredCount,
 		ReplayedChunks:     replayed,
 	}
-	d.instrument(out, time.Since(scanStart))
+	if tr != nil {
+		tr.End(rootIdx, mstats.Cycles)
+		tr.AccelCycles = uint64(mstats.Cycles)
+		d.Trace.Publish(tr)
+	}
+	d.instrument(out, time.Since(scanStart), scanID, traceID)
 	return out, nil
 }
 
@@ -615,10 +664,10 @@ func (d *ParallelDataPath) Scan(hostSink io.Writer, chunkPages int) (*ParallelSc
 // accounting as labelled gauges, and the wall-clock duration into the
 // scan-latency distribution. Runs once per Scan, entirely off the data path;
 // a nil registry makes every call here a no-op.
-func (d *ParallelDataPath) instrument(res *ParallelScanResult, wall time.Duration) {
+func (d *ParallelDataPath) instrument(res *ParallelScanResult, wall time.Duration, scanID, traceID uint64) {
 	if d.Flight != nil {
 		ev := obs.ScanEvent{
-			ScanID: d.scanSeq.Add(1), Source: "stream",
+			ScanID: scanID, Source: "stream", TraceID: traceID,
 			Table:   d.Rel.Name,
 			Column:  d.Column,
 			StartNS: time.Now().Add(-wall).UnixNano(), WallNS: wall.Nanoseconds(),
@@ -652,7 +701,7 @@ func (d *ParallelDataPath) instrument(res *ParallelScanResult, wall time.Duratio
 			"Cycles lost to read-after-write hazards per lane for the most recent parallel scan.").Set(ls.StallCycles)
 	}
 	reg.Distribution("streamhist_stream_scan_duration_seconds",
-		"Wall-clock duration of parallel scans.", 1e-9).Observe(wall.Nanoseconds())
+		"Wall-clock duration of parallel scans.", 1e-9).ObserveWithExemplar(wall.Nanoseconds(), traceID)
 }
 
 // isInjectedFault reports whether a lane error came from the chaos harness
